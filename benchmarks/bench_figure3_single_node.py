@@ -1,0 +1,37 @@
+"""Figure 3: single-node runtimes on real-world and synthetic graphs."""
+
+from repro.harness import figure3, report
+
+
+def test_figure3(regenerate):
+    data = regenerate(figure3)
+    print()
+    print(report.render_runtime_panels(
+        data, "Figure 3: single-node runtimes (seconds, proxies)"
+    ))
+
+    for algorithm, panel in data.items():
+        for dataset_name, cell in panel.items():
+            native = cell["native"]
+            assert isinstance(native, float), (algorithm, dataset_name)
+            # Native is fastest wherever a framework completed.
+            for framework, value in cell.items():
+                if isinstance(value, float):
+                    assert value >= native * 0.99, \
+                        (algorithm, dataset_name, framework)
+            # Giraph, when it completes, is orders of magnitude slower.
+            if isinstance(cell["giraph"], float):
+                assert cell["giraph"] > 10 * native
+
+    # "The trends on the synthetic dataset are in line with real-world
+    # data": the framework ordering on the synthetic graph matches the
+    # majority ordering on the real proxies for PageRank.
+    def ranking(cell):
+        completed = {f: v for f, v in cell.items() if isinstance(v, float)}
+        return sorted(completed, key=completed.get)
+
+    pagerank = data["pagerank"]
+    synthetic_rank = ranking(pagerank["synthetic"])
+    real_rank = ranking(pagerank["livejournal"])
+    assert synthetic_rank[0] == real_rank[0] == "native"
+    assert synthetic_rank[-1] == real_rank[-1] == "giraph"

@@ -1,0 +1,47 @@
+"""Section 7: placing GPS and GraphX on the paper's spectrum.
+
+The paper anchors both systems against its own measurements: "GPS with
+LALP achieves a 12x performance improvement compared to Giraph" and
+"GraphX is about 7x slower than GraphLab for pagerank".
+"""
+
+from repro.harness import run_experiment
+from repro.harness.datasets import weak_scaling_dataset
+
+
+def related_work_pagerank(nodes=4):
+    data, factor = weak_scaling_dataset("pagerank", nodes)
+    runtimes = {}
+    for framework in ("native", "graphlab", "giraph", "gps", "graphx"):
+        run = run_experiment("pagerank", framework, data, nodes=nodes,
+                             scale_factor=factor, iterations=3)
+        runtimes[framework] = run.runtime()
+    return runtimes
+
+
+def test_related_work_anchors(regenerate):
+    runtimes = regenerate(related_work_pagerank)
+    native = runtimes["native"]
+    print()
+    print("PageRank at 4 nodes, related-work systems included:")
+    for framework, runtime in sorted(runtimes.items(), key=lambda kv: kv[1]):
+        print(f"  {framework:<10} {runtime:8.3f} s  "
+              f"({runtime / native:6.1f}x native)")
+
+    gps_vs_giraph = runtimes["giraph"] / runtimes["gps"]
+    graphx_vs_graphlab = runtimes["graphx"] / runtimes["graphlab"]
+    print(f"\n  GPS improvement over Giraph : {gps_vs_giraph:.1f}x "
+          "(paper: ~12x)")
+    print(f"  GraphX slowdown vs GraphLab : {graphx_vs_graphlab:.1f}x "
+          "(paper: ~7x)")
+
+    # The paper's anchors, within a 2x band.
+    assert 6 < gps_vs_giraph < 24
+    assert 3.5 < graphx_vs_graphlab < 14
+    # "comparable to that of the frameworks studied (but much slower
+    # than native code)".
+    assert runtimes["gps"] > 3 * native
+    assert runtimes["gps"] < runtimes["giraph"]
+    # "at the slower end of the spectrum of frameworks considered".
+    assert runtimes["graphx"] > runtimes["graphlab"]
+    assert runtimes["graphx"] < runtimes["giraph"]

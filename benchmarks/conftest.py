@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures
+exactly once (``rounds=1``): the interesting output is the regenerated
+artifact printed to stdout (run with ``-s`` to see it) and the asserted
+paper-shape invariants, with pytest-benchmark recording how long the
+regeneration takes.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run a regenerator once under pytest-benchmark and return its value."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,76 @@
+"""Write your own vertex program: connected components in 20 lines.
+
+The package's vertex engine is a real Pregel interpreter, not just a
+benchmark fixture. This example implements label-propagation connected
+components as a :class:`VertexProgram` — the same programming model as
+the paper's Algorithms 1 and 2 — runs it to quiescence, and checks it
+against a union-find reference.
+
+Run:  python examples/custom_vertex_program.py
+"""
+
+import numpy as np
+
+from repro.datagen import rmat_graph
+from repro.frameworks.vertex import VertexProgram, run_vertex_program
+
+
+class ConnectedComponents(VertexProgram):
+    """Each vertex adopts the smallest id it has heard of."""
+
+    def initial_value(self, vertex: int) -> int:
+        return vertex
+
+    def compute(self, ctx, messages) -> None:
+        smallest = min(messages) if messages else ctx.value
+        if ctx.superstep == 0 or smallest < ctx.value:
+            ctx.value = min(ctx.value, smallest)
+            ctx.send_to_all_neighbors(ctx.value)
+        ctx.vote_to_halt()
+
+
+def components_reference(graph) -> np.ndarray:
+    """Union-find over the edges (the oracle)."""
+    parent = np.arange(graph.num_vertices)
+
+    def find(v):
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for u, v in zip(graph.sources(), graph.targets):
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    # Normalize every vertex to its root, then to the smallest member.
+    roots = np.array([find(v) for v in range(graph.num_vertices)])
+    smallest = {}
+    for vertex, root in enumerate(roots):
+        smallest.setdefault(root, vertex)
+    return np.array([smallest[r] for r in roots])
+
+
+def main():
+    graph = rmat_graph(scale=8, edge_factor=4, seed=11, directed=False)
+    print(f"Graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges (undirected)\n")
+
+    labels, supersteps = run_vertex_program(ConnectedComponents(), graph,
+                                            max_supersteps=100)
+    labels = np.asarray(labels)
+    expected = components_reference(graph)
+    assert np.array_equal(labels, expected), "vertex program disagrees!"
+
+    components, sizes = np.unique(labels, return_counts=True)
+    order = np.argsort(sizes)[::-1]
+    print(f"Converged in {supersteps} supersteps.")
+    print(f"{components.size} connected components; largest five:")
+    for idx in order[:5]:
+        print(f"  component rooted at v{components[idx]}: "
+              f"{sizes[idx]} vertices")
+    print("\nVertex program output verified against union-find.")
+
+
+if __name__ == "__main__":
+    main()

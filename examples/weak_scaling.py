@@ -1,0 +1,38 @@
+"""Weak-scaling study: Figure 4 for one algorithm, in a minute.
+
+Sweeps 1-64 simulated nodes at constant edges per node and prints the
+per-iteration runtime curves — flat lines mean perfect weak scaling.
+Shows where each framework's bottleneck (network layer, superstep
+overhead, CPU occupancy) bends its curve.
+
+Run:  python examples/weak_scaling.py [pagerank|bfs|triangle_counting]
+"""
+
+import sys
+
+from repro.harness import report
+from repro.harness.figures import figure4
+
+
+def main(algorithm: str = "pagerank"):
+    frameworks = ("native", "combblas", "graphlab", "socialite", "giraph")
+    data = figure4(frameworks=frameworks, algorithms=(algorithm,),
+                   node_counts=(1, 2, 4, 8, 16, 32, 64))
+    print(report.render_scaling_curves(
+        data, f"Weak scaling, {algorithm} "
+              "(paper Figure 4; horizontal = perfect)"
+    ))
+
+    curves = data[algorithm]
+    native = curves["native"]
+    growth = native[64] / native[1]
+    print(f"\nNative grows {growth:.1f}x from 1 to 64 nodes "
+          "(network costs slowly take over).")
+    giraph = curves["giraph"]
+    if isinstance(giraph[64], float) and isinstance(native[64], float):
+        print(f"Giraph at 64 nodes is {giraph[64] / native[64]:.0f}x "
+              "slower than native at the same scale.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "pagerank")

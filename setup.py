@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment is offline and its setuptools predates PEP 660
+editable wheels, so ``pip install -e .`` needs this classic entry point
+(pip falls back to ``setup.py develop`` with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Golden references and algorithm-level utilities for the four workloads."""
+
+from .bfs import UNREACHED, bfs_reference, validate_distances
+from .collaborative import (
+    predictions,
+    regularized_loss,
+    rmse,
+    sgd_vs_gd_iterations,
+)
+from .pagerank import pagerank_matrix_form, pagerank_reference
+from .triangles import (
+    per_vertex_triangles,
+    require_oriented,
+    triangle_count_reference,
+)
+
+__all__ = [
+    "UNREACHED",
+    "bfs_reference",
+    "pagerank_matrix_form",
+    "pagerank_reference",
+    "per_vertex_triangles",
+    "predictions",
+    "regularized_loss",
+    "require_oriented",
+    "rmse",
+    "sgd_vs_gd_iterations",
+    "triangle_count_reference",
+    "validate_distances",
+]

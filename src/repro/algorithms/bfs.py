@@ -1,0 +1,59 @@
+"""Golden BFS reference (equation 2 of the paper).
+
+Plain queue-based breadth-first search producing minimum hop counts; the
+oracle every engine's distances must match. ``INT32_MAX`` marks
+unreachable vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..graph import CSRGraph
+
+UNREACHED = np.iinfo(np.int32).max
+
+
+def bfs_reference(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Hop distances from ``source`` over out-edges."""
+    if not 0 <= source < graph.num_vertices:
+        raise ValueError(f"source {source} out of range")
+    distances = np.full(graph.num_vertices, UNREACHED, dtype=np.int32)
+    distances[source] = 0
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        next_distance = distances[vertex] + 1
+        for neighbor in graph.neighbors(vertex):
+            neighbor = int(neighbor)
+            if distances[neighbor] == UNREACHED:
+                distances[neighbor] = next_distance
+                queue.append(neighbor)
+    return distances
+
+
+def validate_distances(graph: CSRGraph, source: int,
+                       distances: np.ndarray) -> bool:
+    """Check the BFS invariants without recomputing a reference.
+
+    Every edge (u, v) must satisfy ``d(v) <= d(u) + 1`` when u is
+    reached, every reached non-source vertex must have a predecessor at
+    distance d-1, and d(source) must be 0. Used by property tests.
+    """
+    distances = np.asarray(distances)
+    if distances[source] != 0:
+        return False
+    src = graph.sources()
+    dst = graph.targets
+    reached_edge = distances[src] != UNREACHED
+    if np.any(distances[dst[reached_edge]] >
+              distances[src[reached_edge]] + 1):
+        return False
+    has_pred = np.zeros(graph.num_vertices, dtype=bool)
+    good = reached_edge & (distances[dst] == distances[src] + 1)
+    has_pred[dst[good]] = True
+    reached = distances != UNREACHED
+    reached[source] = False
+    return bool(np.all(has_pred[reached]))

@@ -1,0 +1,105 @@
+"""Dispatch table: (algorithm, framework) -> runner.
+
+Every runner has the uniform signature
+``runner(dataset, cluster, **params) -> AlgorithmResult`` where
+``dataset`` is a :class:`~repro.graph.CSRGraph` for the graph workloads
+or a :class:`~repro.graph.RatingsMatrix` for collaborative filtering.
+This is what the experiment harness iterates over to regenerate the
+paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExpressibilityError, ReproError
+from ..frameworks import native
+from ..frameworks.datalog import socialite
+from ..frameworks.matrix import combblas, kdt
+from ..frameworks.task import galois
+from ..frameworks.vertex import giraph, gps, graphlab, graphx
+
+ALGORITHMS = ("pagerank", "bfs", "triangle_counting",
+              "collaborative_filtering")
+#: The paper's frameworks plus the Section 7 related-work systems.
+FRAMEWORKS = ("native", "combblas", "graphlab", "socialite",
+              "socialite-published", "giraph", "galois", "gps", "graphx", "kdt")
+
+
+def _socialite_published(function):
+    def runner(dataset, cluster, **params):
+        return function(dataset, cluster, optimized=False, **params)
+    return runner
+
+
+_RUNNERS = {
+    ("pagerank", "native"): native.pagerank,
+    ("bfs", "native"): native.bfs,
+    ("triangle_counting", "native"): native.triangle_count,
+    ("collaborative_filtering", "native"): native.collaborative_filtering,
+
+    ("pagerank", "combblas"): combblas.pagerank,
+    ("bfs", "combblas"): combblas.bfs,
+    ("triangle_counting", "combblas"): combblas.triangle_count,
+    ("collaborative_filtering", "combblas"): combblas.collaborative_filtering,
+
+    ("pagerank", "graphlab"): graphlab.pagerank,
+    ("bfs", "graphlab"): graphlab.bfs,
+    ("triangle_counting", "graphlab"): graphlab.triangle_count,
+    ("collaborative_filtering", "graphlab"): graphlab.collaborative_filtering,
+
+    ("pagerank", "socialite"): socialite.pagerank,
+    ("bfs", "socialite"): socialite.bfs,
+    ("triangle_counting", "socialite"): socialite.triangle_count,
+    ("collaborative_filtering", "socialite"):
+        socialite.collaborative_filtering,
+
+    ("pagerank", "socialite-published"):
+        _socialite_published(socialite.pagerank),
+    ("bfs", "socialite-published"): _socialite_published(socialite.bfs),
+    ("triangle_counting", "socialite-published"):
+        _socialite_published(socialite.triangle_count),
+    ("collaborative_filtering", "socialite-published"):
+        _socialite_published(socialite.collaborative_filtering),
+
+    ("pagerank", "giraph"): giraph.pagerank,
+    ("bfs", "giraph"): giraph.bfs,
+    ("triangle_counting", "giraph"): giraph.triangle_count,
+    ("collaborative_filtering", "giraph"): giraph.collaborative_filtering,
+
+    ("pagerank", "galois"): galois.pagerank,
+    ("bfs", "galois"): galois.bfs,
+    ("triangle_counting", "galois"): galois.triangle_count,
+    ("collaborative_filtering", "galois"): galois.collaborative_filtering,
+
+    ("pagerank", "gps"): gps.pagerank,
+    ("bfs", "gps"): gps.bfs,
+    ("triangle_counting", "gps"): gps.triangle_count,
+    ("collaborative_filtering", "gps"): gps.collaborative_filtering,
+
+    ("pagerank", "kdt"): kdt.pagerank,
+    ("bfs", "kdt"): kdt.bfs,
+    ("triangle_counting", "kdt"): kdt.triangle_count,
+    ("collaborative_filtering", "kdt"): kdt.collaborative_filtering,
+
+    ("pagerank", "graphx"): graphx.pagerank,
+    ("bfs", "graphx"): graphx.bfs,
+    ("triangle_counting", "graphx"): graphx.triangle_count,
+    ("collaborative_filtering", "graphx"): graphx.collaborative_filtering,
+}
+
+
+def runner(algorithm: str, framework: str):
+    """Look up the runner; raises for unknown or unsupported combos."""
+    if algorithm not in ALGORITHMS:
+        raise ReproError(
+            f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}"
+        )
+    if framework not in FRAMEWORKS:
+        raise ReproError(
+            f"unknown framework {framework!r}; known: {FRAMEWORKS}"
+        )
+    try:
+        return _RUNNERS[(algorithm, framework)]
+    except KeyError:
+        raise ExpressibilityError(
+            f"{framework} has no {algorithm} implementation"
+        ) from None

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — one experiment cell: algorithm x framework x dataset x nodes;
+* ``table N`` / ``figure N`` — regenerate one paper artifact;
+* ``datasets`` — list the catalog and proxy sizes;
+* ``frameworks`` — list frameworks and their profiles;
+* ``graph500`` — the Graph500 BFS protocol on the simulator;
+* ``regenerate`` — everything, like ``scripts/regenerate_all.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_run(args) -> int:
+    from .datagen import dataset as catalog_dataset
+    from .harness import run_experiment
+
+    data = catalog_dataset(args.dataset)
+    params = {}
+    if args.algorithm == "pagerank":
+        params["iterations"] = args.iterations
+    elif args.algorithm == "collaborative_filtering":
+        params["iterations"] = args.iterations
+        params["hidden_dim"] = args.hidden_dim
+    elif args.algorithm == "bfs":
+        params["source"] = int(np.argmax(data.out_degrees()))
+
+    result = run_experiment(args.algorithm, args.framework, data,
+                            nodes=args.nodes, scale_factor=args.scale_factor,
+                            **params)
+    if not result.ok:
+        print(f"status: {result.status} ({result.failure})")
+        return 1
+    metrics = result.metrics()
+    print(f"algorithm          : {args.algorithm}")
+    print(f"framework          : {args.framework}")
+    print(f"nodes              : {args.nodes}")
+    print(f"runtime            : {result.runtime():.4f} s (simulated)")
+    print(f"iterations         : {metrics.num_iterations}")
+    print(f"cpu utilization    : {100 * metrics.cpu_utilization:.0f}%")
+    print(f"bytes sent per node: {metrics.bytes_sent_per_node / 1e6:.1f} MB")
+    print(f"memory footprint   : "
+          f"{metrics.memory_footprint_bytes / 2**30:.2f} GiB/node")
+    print(f"bound by           : {metrics.bound_by()}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from . import harness
+    from .harness import report
+
+    renderers = {
+        1: lambda d: report.render_rows(
+            d, ["algorithm", "graph_type", "vertex_property",
+                "access_pattern", "message_bytes_per_edge", "vertex_active"],
+            "Table 1"),
+        2: lambda d: report.render_rows(
+            d, ["framework", "programming_model", "multi_node", "language",
+                "graph_partitioning", "communication_layer"], "Table 2"),
+        3: lambda d: report.render_rows(
+            d, ["dataset", "paper_vertices", "paper_edges", "proxy_size",
+                "proxy_edges"], "Table 3"),
+        4: report.render_table4,
+        5: lambda d: report.render_slowdown_table(d, "Table 5"),
+        6: lambda d: report.render_slowdown_table(d, "Table 6"),
+        7: report.render_table7,
+    }
+    if args.number not in renderers:
+        print(f"no table {args.number}; the paper has tables 1-7")
+        return 2
+    data = getattr(harness, f"table{args.number}")()
+    print(renderers[args.number](data))
+    if args.save:
+        from .harness.persistence import save_artifact
+        save_artifact(args.save, f"table{args.number}", data)
+        print(f"\nsaved to {args.save}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from . import harness
+    from .harness import report
+
+    renderers = {
+        3: lambda d: report.render_runtime_panels(d, "Figure 3"),
+        4: lambda d: report.render_scaling_curves(d, "Figure 4"),
+        5: lambda d: report.render_runtime_panels(d, "Figure 5"),
+        6: report.render_figure6,
+        7: report.render_figure7,
+    }
+    if args.number not in renderers:
+        print(f"no figure {args.number}; the paper has figures 3-7")
+        return 2
+    data = getattr(harness, f"figure{args.number}")()
+    print(renderers[args.number](data))
+    if args.save:
+        from .harness.persistence import save_artifact
+        save_artifact(args.save, f"figure{args.number}", data)
+        print(f"\nsaved to {args.save}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from .harness import report, table3
+
+    print(report.render_rows(
+        table3(), ["dataset", "paper_vertices", "paper_edges", "proxy_size",
+                   "proxy_edges"],
+        "Datasets (paper sizes and generated proxies)"))
+    return 0
+
+
+def _cmd_frameworks(_args) -> int:
+    from .frameworks.base import PROFILES
+
+    for name, profile in sorted(PROFILES.items()):
+        print(f"{name:<22} {profile.model:<16} {profile.language:<8} "
+              f"comm={profile.comm_layer.name:<14} "
+              f"multinode={profile.multinode}")
+    return 0
+
+
+def _cmd_graph500(args) -> int:
+    from .harness.graph500 import run_graph500
+
+    result = run_graph500(scale=args.scale, nodes=args.nodes,
+                          framework=args.framework,
+                          num_roots=args.roots,
+                          scale_factor=args.scale_factor)
+    print(f"Graph500 BFS, scale {result.scale} "
+          f"({result.num_edges:,} undirected edges), "
+          f"{result.num_roots} roots on {args.framework}:")
+    print(f"  harmonic mean TEPS : {result.harmonic_mean_teps:.3e}")
+    print(f"  min / median / max : {result.min_teps:.3e} / "
+          f"{result.median_teps:.3e} / {result.max_teps:.3e}")
+    print(f"  mean BFS time      : {result.mean_time_s:.4f} s")
+    print(f"  all trees valid    : {result.all_valid}")
+    return 0 if result.all_valid else 1
+
+
+def _cmd_regenerate(_args) -> int:
+    import subprocess
+
+    return subprocess.call([sys.executable, "scripts/regenerate_all.py"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from .algorithms.registry import ALGORITHMS, FRAMEWORKS
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Navigating the Maze of Graph "
+                    "Analytics Frameworks' (SIGMOD 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment cell")
+    run.add_argument("algorithm", choices=ALGORITHMS)
+    run.add_argument("framework", choices=FRAMEWORKS)
+    run.add_argument("--dataset", default="rmat_mini")
+    run.add_argument("--nodes", type=int, default=1)
+    run.add_argument("--scale-factor", type=float, default=1.0)
+    run.add_argument("--iterations", type=int, default=3)
+    run.add_argument("--hidden-dim", type=int, default=32)
+    run.set_defaults(func=_cmd_run)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int)
+    table.add_argument("--save", help="also save the data as JSON")
+    table.set_defaults(func=_cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int)
+    figure.add_argument("--save", help="also save the data as JSON")
+    figure.set_defaults(func=_cmd_figure)
+
+    sub.add_parser("datasets", help="list the dataset catalog") \
+        .set_defaults(func=_cmd_datasets)
+    sub.add_parser("frameworks", help="list framework profiles") \
+        .set_defaults(func=_cmd_frameworks)
+
+    g500 = sub.add_parser("graph500", help="Graph500 BFS protocol")
+    g500.add_argument("--scale", type=int, default=12)
+    g500.add_argument("--nodes", type=int, default=1)
+    g500.add_argument("--framework", default="native", choices=FRAMEWORKS)
+    g500.add_argument("--roots", type=int, default=8)
+    g500.add_argument("--scale-factor", type=float, default=1.0)
+    g500.set_defaults(func=_cmd_graph500)
+
+    sub.add_parser("regenerate", help="regenerate every table and figure") \
+        .set_defaults(func=_cmd_regenerate)
+
+    rep = sub.add_parser("report",
+                         help="full markdown reproduction report")
+    rep.add_argument("--output", default="reproduction_report.md")
+    rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .harness.paper_report import generate_report
+
+    text = generate_report()
+    Path(args.output).write_text(text)
+    passed_line = next(line for line in text.splitlines()
+                       if line.startswith("## Headline claims"))
+    print(f"wrote {args.output}")
+    print(passed_line.lstrip("# "))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

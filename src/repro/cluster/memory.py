@@ -1,0 +1,76 @@
+"""Per-node memory accounting for the simulated cluster.
+
+Figure 6 of the paper reports memory footprint per node, and two of its
+headline findings are out-of-memory failures: CombBLAS triangle counting
+"ran out of memory for real-world inputs while computing the A^2 matrix
+product" and Giraph's all-at-once message buffering (Section 6.1.3).
+:class:`MemoryTracker` makes those failures reproducible: engines register
+every major allocation (graph structures, message buffers, intermediates),
+and exceeding the node's DRAM raises :class:`~repro.errors.CapacityError`.
+
+Because experiments run on downscaled proxy datasets, allocations are
+checked against capacity at *extrapolated* size: actual bytes multiplied
+by the experiment's ``scale_factor`` (paper edges / proxy edges).
+"""
+
+from __future__ import annotations
+
+from ..errors import CapacityError, SimulationError
+
+
+class MemoryTracker:
+    """Tracks labelled allocations on one simulated node."""
+
+    def __init__(self, node_id: int, capacity_bytes: int,
+                 scale_factor: float = 1.0, enforce: bool = True):
+        if capacity_bytes <= 0:
+            raise SimulationError("capacity must be positive")
+        if scale_factor <= 0:
+            raise SimulationError("scale_factor must be positive")
+        self.node_id = node_id
+        self.capacity_bytes = int(capacity_bytes)
+        self.scale_factor = float(scale_factor)
+        self.enforce = enforce
+        self._allocations = {}
+        self._peak_bytes = 0.0
+
+    def allocate(self, label: str, nbytes: float) -> None:
+        """Register ``nbytes`` (proxy-scale) under ``label``.
+
+        Re-allocating an existing label replaces its size (engines resize
+        buffers every superstep).
+        """
+        if nbytes < 0:
+            raise SimulationError(f"allocation must be non-negative, got {nbytes}")
+        self._allocations[label] = float(nbytes)
+        used = self.used_bytes
+        self._peak_bytes = max(self._peak_bytes, used)
+        if self.enforce and used > self.capacity_bytes:
+            raise CapacityError(self.node_id, used, self.capacity_bytes, what=label)
+
+    def free(self, label: str) -> None:
+        """Release an allocation; freeing an unknown label is an error."""
+        try:
+            del self._allocations[label]
+        except KeyError:
+            raise SimulationError(
+                f"node {self.node_id}: free of unknown allocation {label!r}"
+            ) from None
+
+    @property
+    def used_bytes(self) -> float:
+        """Current extrapolated (paper-scale) usage."""
+        return sum(self._allocations.values()) * self.scale_factor
+
+    @property
+    def peak_bytes(self) -> float:
+        """High-water mark of extrapolated usage."""
+        return self._peak_bytes
+
+    def utilization(self) -> float:
+        """Peak usage as a fraction of node DRAM (Figure 6 metric)."""
+        return self.peak_bytes / self.capacity_bytes
+
+    def breakdown(self) -> dict:
+        """Current allocations by label, at proxy scale."""
+        return dict(self._allocations)

@@ -1,0 +1,111 @@
+"""Run metrics: the quantities the paper measures with sar/sysstat.
+
+Figure 6 characterizes every framework by four system-level metrics —
+CPU utilization, peak achieved network bandwidth, memory footprint and
+network bytes sent. :class:`RunMetrics` carries exactly those, plus the
+runtime breakdown used for Tables 4-6, all extracted from the simulator's
+per-superstep reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class StepRecord:
+    """One superstep as observed by the monitor."""
+
+    index: int
+    time_s: float
+    compute_s: float            # slowest node's compute time
+    comm_s: float               # slowest node's communication time
+    bytes_sent: float           # wire bytes, all nodes
+    peak_bandwidth: float       # bytes/s while transferring (0 if no traffic)
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated observables of one run on the simulated cluster."""
+
+    num_nodes: int
+    total_time_s: float = 0.0
+    busy_core_seconds: float = 0.0     # sum over nodes of busy time x cores used
+    total_core_seconds: float = 0.0    # nodes x cores x elapsed
+    bytes_sent_total: float = 0.0
+    memory_bytes_total: float = 0.0    # DRAM bytes touched, all nodes
+    peak_network_bandwidth: float = 0.0
+    memory_footprint_bytes: float = 0.0    # max over nodes, extrapolated
+    iteration_times: list = field(default_factory=list)
+    steps: list = field(default_factory=list)
+    compute_time_s: float = 0.0        # critical-path compute
+    comm_time_s: float = 0.0           # critical-path communication
+
+    # -- Figure 6 metrics -------------------------------------------------
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of cluster CPU capacity that was busy, in [0, 1]."""
+        if self.total_core_seconds == 0:
+            return 0.0
+        return min(self.busy_core_seconds / self.total_core_seconds, 1.0)
+
+    @property
+    def bytes_sent_per_node(self) -> float:
+        return self.bytes_sent_total / self.num_nodes
+
+    @property
+    def average_network_bandwidth(self) -> float:
+        """Sustained send rate per node over the whole run (Table 4)."""
+        if self.total_time_s == 0:
+            return 0.0
+        return self.bytes_sent_per_node / self.total_time_s
+
+    @property
+    def achieved_memory_bandwidth(self) -> float:
+        """Sustained DRAM bytes/s per node over the whole run (Table 4)."""
+        if self.total_time_s == 0:
+            return 0.0
+        return self.memory_bytes_total / self.num_nodes / self.total_time_s
+
+    # -- runtime breakdown --------------------------------------------------
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iteration_times)
+
+    @property
+    def time_per_iteration_s(self) -> float:
+        if not self.iteration_times:
+            return self.total_time_s
+        return float(np.mean(self.iteration_times))
+
+    @property
+    def network_fraction(self) -> float:
+        """Share of the critical path spent communicating."""
+        denominator = self.compute_time_s + self.comm_time_s
+        if denominator == 0:
+            return 0.0
+        return self.comm_time_s / denominator
+
+    def bound_by(self) -> str:
+        """'network' or 'memory': the dominant hardware limit (Table 4)."""
+        return "network" if self.comm_time_s > self.compute_time_s else "memory"
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot used by the report renderers."""
+        return {
+            "num_nodes": self.num_nodes,
+            "total_time_s": self.total_time_s,
+            "time_per_iteration_s": self.time_per_iteration_s,
+            "num_iterations": self.num_iterations,
+            "cpu_utilization": self.cpu_utilization,
+            "peak_network_bandwidth": self.peak_network_bandwidth,
+            "average_network_bandwidth": self.average_network_bandwidth,
+            "bytes_sent_per_node": self.bytes_sent_per_node,
+            "memory_footprint_bytes": self.memory_footprint_bytes,
+            "network_fraction": self.network_fraction,
+            "bound_by": self.bound_by(),
+        }

@@ -1,0 +1,195 @@
+"""The simulated cluster: barriers, message exchange, byte counting.
+
+Engines drive a :class:`Cluster` superstep by superstep: they hand over
+per-node :class:`~repro.cluster.cost.ComputeWork` counters and a
+node-to-node traffic matrix of *payload* bytes, and the cluster advances
+a simulated wall clock using the cost model, the framework's
+communication layer and (optionally) compute/communication overlap. All
+Figure 6 observables accumulate as a side effect.
+
+Scale extrapolation: experiments run on downscaled proxy datasets but
+report paper-scale numbers. The cluster multiplies every counter (work,
+traffic, memory) by ``scale_factor`` = paper size / proxy size at
+accounting time, so the engines stay oblivious. Per-superstep *fixed*
+costs (communication latency, framework barrier overhead) are *not*
+scaled — that is what makes, e.g., Giraph's per-superstep Hadoop overhead
+dominate BFS exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from .cost import ComputeWork, CostModel
+from .hardware import ClusterSpec
+from .memory import MemoryTracker
+from .metrics import RunMetrics, StepRecord
+from .network import MPI, CommLayer, Fabric, TrafficReport
+
+
+@dataclass
+class StepReport:
+    """Outcome of one superstep, visible to engines."""
+
+    index: int
+    time_s: float
+    compute_times: np.ndarray
+    comm_times: np.ndarray
+    traffic: TrafficReport
+
+
+class Cluster:
+    """A running simulation on ``spec.num_nodes`` nodes."""
+
+    def __init__(self, spec: ClusterSpec, comm_layer: CommLayer = MPI,
+                 scale_factor: float = 1.0, enforce_memory: bool = True):
+        if scale_factor <= 0:
+            raise SimulationError("scale_factor must be positive")
+        self.spec = spec
+        self.comm_layer = comm_layer
+        self.scale_factor = float(scale_factor)
+        self.cost = CostModel(spec.node)
+        self.fabric = Fabric(spec.node, spec.num_nodes)
+        self._memory = [
+            MemoryTracker(i, spec.node.dram_bytes, scale_factor, enforce_memory)
+            for i in range(spec.num_nodes)
+        ]
+        self._elapsed = 0.0
+        self._steps = 0
+        self._iteration_started_at = 0.0
+        self._metrics = RunMetrics(num_nodes=spec.num_nodes)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._elapsed
+
+    def memory(self, node_id: int) -> MemoryTracker:
+        return self._memory[node_id]
+
+    # -- memory convenience ----------------------------------------------------
+
+    def allocate(self, node_id: int, label: str, nbytes: float) -> None:
+        self._memory[node_id].allocate(label, nbytes)
+
+    def allocate_all(self, label: str, nbytes) -> None:
+        """Allocate on every node; ``nbytes`` is scalar or per-node list."""
+        sizes = np.broadcast_to(np.asarray(nbytes, dtype=np.float64),
+                                (self.num_nodes,))
+        for node_id, size in enumerate(sizes):
+            self._memory[node_id].allocate(label, float(size))
+
+    def free_all(self, label: str) -> None:
+        for tracker in self._memory:
+            tracker.free(label)
+
+    # -- time advancement --------------------------------------------------------
+
+    def _normalize_work(self, work) -> list:
+        if work is None:
+            return [ComputeWork() for _ in range(self.num_nodes)]
+        if isinstance(work, ComputeWork):
+            return [work] * self.num_nodes
+        work = list(work)
+        if len(work) != self.num_nodes:
+            raise SimulationError(
+                f"expected {self.num_nodes} work entries, got {len(work)}"
+            )
+        return work
+
+    def superstep(self, work=None, traffic=None, overlap: bool = False,
+                  layer: CommLayer = None, overhead_s: float = 0.0) -> StepReport:
+        """Advance the cluster by one bulk-synchronous superstep.
+
+        ``work`` — per-node :class:`ComputeWork` (or one shared instance);
+        ``traffic`` — payload bytes, shape ``(P, P)``, ``traffic[i, j]``
+        from node *i* to node *j*; ``overlap`` — hide communication under
+        computation; ``overhead_s`` — unscaled fixed cost (framework
+        barrier/scheduling). The step lasts as long as its slowest node
+        (BSP barrier semantics).
+        """
+        if overhead_s < 0:
+            raise SimulationError("overhead_s must be non-negative")
+        layer = layer or self.comm_layer
+        work = self._normalize_work(work)
+        compute_times = np.array(
+            [self.cost.compute_time(w.scaled(self.scale_factor)) for w in work]
+        )
+
+        if traffic is None:
+            traffic = np.zeros((self.num_nodes, self.num_nodes))
+        report = self.fabric.exchange(
+            np.asarray(traffic, dtype=np.float64) * self.scale_factor, layer
+        )
+
+        node_times = np.array([
+            CostModel.step_time(compute_times[i], report.comm_times[i], overlap)
+            for i in range(self.num_nodes)
+        ])
+        step_time = float(node_times.max()) + overhead_s
+
+        # -- bookkeeping ----------------------------------------------------
+        metrics = self._metrics
+        metrics.total_time_s += step_time
+        metrics.compute_time_s += float(compute_times.max())
+        metrics.comm_time_s += float(report.comm_times.max())
+        busy = sum(
+            compute_times[i] * work[i].cores_fraction * self.spec.node.cores
+            for i in range(self.num_nodes)
+        )
+        metrics.busy_core_seconds += busy
+        metrics.total_core_seconds += step_time * self.num_nodes * self.spec.node.cores
+        metrics.bytes_sent_total += report.total_bytes
+        metrics.memory_bytes_total += sum(
+            (w.streamed_bytes + w.random_bytes) * self.scale_factor
+            for w in work
+        )
+        metrics.peak_network_bandwidth = max(
+            metrics.peak_network_bandwidth, report.peak_bandwidth
+        )
+        metrics.steps.append(StepRecord(
+            index=self._steps, time_s=step_time,
+            compute_s=float(compute_times.max()),
+            comm_s=float(report.comm_times.max()),
+            bytes_sent=report.total_bytes,
+            peak_bandwidth=report.peak_bandwidth,
+        ))
+
+        self._elapsed += step_time
+        self._steps += 1
+        return StepReport(self._steps - 1, step_time, compute_times,
+                          report.comm_times, report)
+
+    def tick(self, seconds: float) -> None:
+        """Advance wall clock by a fixed, unscaled amount (startup, I/O)."""
+        if seconds < 0:
+            raise SimulationError("tick must be non-negative")
+        self._elapsed += seconds
+        self._metrics.total_time_s += seconds
+        self._metrics.total_core_seconds += (
+            seconds * self.num_nodes * self.spec.node.cores
+        )
+
+    def mark_iteration(self) -> float:
+        """Close the current algorithm iteration; returns its duration."""
+        duration = self._elapsed - self._iteration_started_at
+        self._iteration_started_at = self._elapsed
+        self._metrics.iteration_times.append(duration)
+        return duration
+
+    # -- results ------------------------------------------------------------
+
+    def metrics(self) -> RunMetrics:
+        """Snapshot of the metrics accumulated so far."""
+        self._metrics.memory_footprint_bytes = max(
+            tracker.peak_bytes for tracker in self._memory
+        )
+        return self._metrics

@@ -1,0 +1,111 @@
+"""Superstep timeline analysis: where did the time go?
+
+The paper's Section 5.4 methodology — explain runtimes from system
+metrics — applied per superstep: break a run into compute, communication
+and fixed-overhead components, render an ASCII timeline, and name the
+dominant bottleneck with the paper's vocabulary (memory-bandwidth bound,
+network bound, overhead bound, occupancy bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import RunMetrics
+
+
+@dataclass
+class BottleneckReport:
+    """Decomposition of a run's critical path."""
+
+    total_time_s: float
+    compute_fraction: float
+    comm_fraction: float
+    overhead_fraction: float
+    dominant: str
+    cpu_utilization: float
+
+    def recommendation(self) -> str:
+        """The Section 6-style advice for this bottleneck."""
+        advice = {
+            "compute": "memory/CPU bound: improve data structures, add "
+                       "software prefetching, raise per-core efficiency",
+            "network": "network bound: use a faster communication layer, "
+                       "compress messages, overlap compute with "
+                       "communication",
+            "overhead": "fixed-cost bound: reduce per-superstep scheduling "
+                        "latency or batch supersteps together",
+        }
+        return advice[self.dominant]
+
+
+def analyze(metrics: RunMetrics) -> BottleneckReport:
+    """Classify a finished run by its dominant cost."""
+    compute = metrics.compute_time_s
+    comm = metrics.comm_time_s
+    accounted = sum(min(step.time_s, step.compute_s + step.comm_s)
+                    for step in metrics.steps)
+    overhead = max(metrics.total_time_s - accounted, 0.0)
+    total = max(metrics.total_time_s, 1e-18)
+
+    fractions = {
+        "compute": compute / max(compute + comm + overhead, 1e-18),
+        "network": comm / max(compute + comm + overhead, 1e-18),
+        "overhead": overhead / max(compute + comm + overhead, 1e-18),
+    }
+    dominant = max(fractions, key=fractions.get)
+    return BottleneckReport(
+        total_time_s=metrics.total_time_s,
+        compute_fraction=fractions["compute"],
+        comm_fraction=fractions["network"],
+        overhead_fraction=fractions["overhead"],
+        dominant=dominant,
+        cpu_utilization=metrics.cpu_utilization,
+    )
+
+
+def render_timeline(metrics: RunMetrics, width: int = 60,
+                    max_rows: int = 20) -> str:
+    """ASCII per-superstep timeline: '=' compute, '~' comm, '.' other."""
+    steps = metrics.steps
+    if not steps:
+        return "(no supersteps recorded)"
+    longest = max(step.time_s for step in steps)
+    lines = [
+        f"{len(steps)} supersteps, {metrics.total_time_s:.4g}s total "
+        f"('=' compute, '~' network, '.' overhead; bar = step duration)"
+    ]
+    shown = steps if len(steps) <= max_rows else steps[:max_rows]
+    for step in shown:
+        bar_len = max(int(round(width * step.time_s / longest)), 1) \
+            if longest > 0 else 1
+        busy = step.compute_s + step.comm_s
+        if busy > 0:
+            compute_cells = int(round(bar_len * min(step.compute_s / busy,
+                                                    1.0)))
+        else:
+            compute_cells = 0
+        comm_cells = 0
+        if busy > 0:
+            comm_cells = bar_len - compute_cells
+        overhead_cells = 0
+        if step.time_s > busy and busy > 0:
+            # Rescale: busy portion + overhead tail.
+            busy_cells = max(int(round(bar_len * busy / step.time_s)), 1)
+            overhead_cells = bar_len - busy_cells
+            compute_cells = int(round(busy_cells * step.compute_s / busy))
+            comm_cells = busy_cells - compute_cells
+        bar = ("=" * compute_cells + "~" * comm_cells
+               + "." * overhead_cells) or "."
+        lines.append(f"  step {step.index:>4} {step.time_s:>10.4g}s  {bar}")
+    if len(steps) > max_rows:
+        lines.append(f"  ... {len(steps) - max_rows} more steps")
+    report = analyze(metrics)
+    lines.append(
+        f"dominant: {report.dominant} "
+        f"(compute {100 * report.compute_fraction:.0f}% / "
+        f"network {100 * report.comm_fraction:.0f}% / "
+        f"overhead {100 * report.overhead_fraction:.0f}%)"
+    )
+    lines.append(f"advice: {report.recommendation()}")
+    return "\n".join(lines)

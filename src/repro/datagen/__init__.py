@@ -1,0 +1,49 @@
+"""Synthetic data generators and the dataset catalog (paper Section 4.1)."""
+
+from .ratings import (
+    filter_min_degree,
+    fold_to_bipartite,
+    netflix_like_ratings,
+    uniform_ratings,
+)
+from .reference import (
+    CATALOG,
+    DOWNSCALE,
+    SINGLE_NODE_GRAPHS,
+    SINGLE_NODE_RATINGS,
+    DatasetSpec,
+    bfs_variant,
+    dataset,
+    triangle_variant,
+)
+from .rmat import (
+    GRAPH500_PARAMS,
+    RATINGS_PARAMS,
+    TRIANGLE_PARAMS,
+    RMATParams,
+    rmat_edges,
+    rmat_graph,
+    rmat_triangle_graph,
+)
+
+__all__ = [
+    "CATALOG",
+    "DOWNSCALE",
+    "GRAPH500_PARAMS",
+    "RATINGS_PARAMS",
+    "SINGLE_NODE_GRAPHS",
+    "SINGLE_NODE_RATINGS",
+    "TRIANGLE_PARAMS",
+    "DatasetSpec",
+    "RMATParams",
+    "bfs_variant",
+    "dataset",
+    "filter_min_degree",
+    "fold_to_bipartite",
+    "netflix_like_ratings",
+    "rmat_edges",
+    "rmat_graph",
+    "rmat_triangle_graph",
+    "triangle_variant",
+    "uniform_ratings",
+]

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the library's failures without
+also swallowing programming mistakes such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or graph file violates the expected format."""
+
+
+class PartitionError(ReproError):
+    """A graph partitioning request cannot be satisfied."""
+
+
+class CapacityError(ReproError):
+    """A simulated node ran out of memory.
+
+    This mirrors the out-of-memory failures the paper reports for
+    CombBLAS triangle counting on the Twitter dataset and for Giraph on
+    large message volumes (Sections 5.2, 5.3 and 6.1.3).
+    """
+
+    def __init__(self, node, needed_bytes, capacity_bytes, what=""):
+        self.node = node
+        self.needed_bytes = int(needed_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        self.what = what
+        detail = f" while allocating {what}" if what else ""
+        super().__init__(
+            f"node {node} out of memory{detail}: "
+            f"needs {self.needed_bytes:,} B of {self.capacity_bytes:,} B"
+        )
+
+
+class ExpressibilityError(ReproError):
+    """An algorithm cannot be expressed in a framework's programming model.
+
+    The paper highlights such gaps: most frameworks cannot express SGD
+    (Section 3.2) and CombBLAS cannot fuse the ``A**2`` computation with
+    the intersection for triangle counting (Section 6.2).
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget."""
+
+
+class SimulationError(ReproError):
+    """The cluster simulator was used inconsistently."""

@@ -1,0 +1,23 @@
+"""Datalog engine and the SociaLite front-end."""
+
+from . import socialite
+from .engine import EvalStats, SocialiteEngine
+from .parser import RuleSyntaxError, parse_program, parse_rule
+from .rules import Assign, Atom, Head, Rule, Var
+from .table import AggregateTable, TupleTable
+
+__all__ = [
+    "AggregateTable",
+    "Assign",
+    "Atom",
+    "EvalStats",
+    "Head",
+    "Rule",
+    "RuleSyntaxError",
+    "SocialiteEngine",
+    "TupleTable",
+    "Var",
+    "parse_program",
+    "parse_rule",
+    "socialite",
+]

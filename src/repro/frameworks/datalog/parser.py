@@ -1,0 +1,247 @@
+"""Parser for SociaLite's textual rule syntax.
+
+Accepts the notation the paper prints (Sections 3.1/3.2), e.g.::
+
+    RANK[n](t+1, $SUM(v)) :- RANK[s](t, v0), OUTEDGE[s](n),
+                             OUTDEG[s](d), v = (1-r)*v0/d.
+
+    BFS(t, $MIN(d)) :- BFS(s, d0), EDGE(s, t), d = d0 + 1.
+
+    TRIANGLE(0, $INC(1)) :- EDGE(x, y), EDGE(y, z), EDGE(x, z).
+
+and compiles it to :class:`~repro.frameworks.datalog.rules.Rule` objects
+runnable on the engine. Conventions handled:
+
+* ``TABLE[x](...)`` (sharded-table notation) is equivalent to
+  ``TABLE(x, ...)`` — the bracketed first column is the shard key;
+* iteration terms like ``t`` / ``t+1`` on RANK are bookkeeping in the
+  paper (the engine double-buffers instead) and are dropped when the
+  head table is declared iteration-indexed;
+* aggregation heads ``$SUM(expr)`` / ``$MIN(expr)`` / ``$INC(expr)``;
+* arithmetic assignments ``var = expression`` over bound variables with
+  ``+ - * /``, parentheses, numeric literals and named constants
+  supplied by the caller.
+
+Arithmetic expressions are compiled with Python's ``ast`` module
+restricted to those operators — no ``eval`` of arbitrary code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+import numpy as np
+
+from ...errors import ReproError
+from .rules import Assign, Atom, Head, Rule, Var
+
+_AGGS = {"$SUM": "sum", "$MIN": "min", "$INC": "count"}
+
+_ATOM_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\[(?P<shard>[A-Za-z0-9_+]+)\])?"
+    r"\((?P<args>.*)\)\s*$",
+    re.DOTALL,
+)
+
+
+class RuleSyntaxError(ReproError):
+    """The rule text does not parse."""
+
+
+def _compile_expression(text: str, constants: dict):
+    """Compile an arithmetic expression to a vectorized function.
+
+    Returns ``(fn, input_variable_names)``. Only numeric literals, the
+    caller's named constants, bound variables and ``+ - * / **`` with
+    unary minus are allowed.
+    """
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as error:
+        raise RuleSyntaxError(f"bad expression {text!r}: {error}") from None
+
+    allowed_binops = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)
+    names = []
+
+    def check(node):
+        if isinstance(node, ast.Expression):
+            check(node.body)
+        elif isinstance(node, ast.BinOp):
+            if not isinstance(node.op, allowed_binops):
+                raise RuleSyntaxError(
+                    f"operator {type(node.op).__name__} not allowed in "
+                    f"{text!r}"
+                )
+            check(node.left)
+            check(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            if not isinstance(node.op, (ast.USub, ast.UAdd)):
+                raise RuleSyntaxError(f"unary operator not allowed in {text!r}")
+            check(node.operand)
+        elif isinstance(node, ast.Constant):
+            if not isinstance(node.value, (int, float)):
+                raise RuleSyntaxError(f"literal {node.value!r} not numeric")
+        elif isinstance(node, ast.Name):
+            if node.id not in constants and node.id not in names:
+                names.append(node.id)
+        else:
+            raise RuleSyntaxError(
+                f"{type(node).__name__} not allowed in rule expression "
+                f"{text!r}"
+            )
+
+    check(tree)
+    variables = [n for n in names if n not in constants]
+    code = compile(tree, "<rule>", "eval")
+
+    def fn(*args):
+        scope = dict(constants)
+        scope.update(zip(variables, args))
+        scope["np"] = np
+        return eval(code, {"__builtins__": {}}, scope)  # noqa: S307 — AST-validated
+
+    return fn, variables
+
+
+def _parse_term(token: str):
+    token = token.strip()
+    if not token:
+        raise RuleSyntaxError("empty term")
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if re.fullmatch(r"-?\d*\.\d+", token):
+        return float(token)
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+        return Var(token)
+    raise RuleSyntaxError(f"cannot parse term {token!r}")
+
+
+def _split_top_level(text: str, separator: str = ",") -> list:
+    """Split on commas not nested inside parentheses/brackets."""
+    parts = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        if char == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _is_iteration_term(token: str) -> bool:
+    """``t`` / ``t+1``-style iteration indices the engine double-buffers."""
+    return bool(re.fullmatch(r"t(\s*\+\s*1)?", token.strip()))
+
+
+def parse_rule(text: str, constants: dict = None,
+               drop_iteration_terms: bool = True) -> Rule:
+    """Parse one rule string into a :class:`Rule`.
+
+    ``constants`` supplies named constants for arithmetic (e.g.
+    ``{"r": 0.3}``). The trailing period is optional.
+    """
+    constants = constants or {}
+    text = text.strip().rstrip(".")
+    if ":-" not in text:
+        raise RuleSyntaxError("rule needs a ':-'")
+    head_text, body_text = text.split(":-", 1)
+
+    # Iteration indices (t / t+1) only exist in iteration-indexed
+    # programs, recognizable by a 't+1' somewhere in the rule; plain
+    # variables named 't' (e.g. BFS's target vertex) are left alone.
+    drop_iteration_terms = drop_iteration_terms and \
+        bool(re.search(r"t\s*\+\s*1", text))
+
+    # -- head ------------------------------------------------------------
+    match = _ATOM_RE.match(head_text)
+    if not match:
+        raise RuleSyntaxError(f"cannot parse head {head_text!r}")
+    head_args = _split_top_level(match.group("args"))
+    if match.group("shard"):
+        head_args = [match.group("shard")] + head_args
+    if drop_iteration_terms:
+        head_args = [a for a in head_args if not _is_iteration_term(a)]
+
+    agg = None
+    agg_payload = None
+    plain_terms = []
+    for arg in head_args:
+        agg_match = re.match(r"^(\$[A-Z]+)\((.*)\)$", arg)
+        if agg_match:
+            if agg_match.group(1) not in _AGGS:
+                raise RuleSyntaxError(
+                    f"unknown aggregation {agg_match.group(1)}"
+                )
+            agg = _AGGS[agg_match.group(1)]
+            agg_payload = agg_match.group(2).strip()
+        else:
+            plain_terms.append(_parse_term(arg))
+    if agg is None:
+        raise RuleSyntaxError("head needs a $SUM/$MIN/$INC aggregation")
+    if len(plain_terms) != 1:
+        raise RuleSyntaxError(
+            f"head needs exactly one key term, got {plain_terms}"
+        )
+
+    assigns = []
+    if agg == "count":
+        value = None
+    elif agg_payload in constants:
+        value = float(constants[agg_payload])
+    elif re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", agg_payload):
+        value = Var(agg_payload)
+    elif re.fullmatch(r"-?\d+(\.\d+)?", agg_payload):
+        value = float(agg_payload)
+    else:
+        # Inline expression: hoist into an assignment.
+        fn, inputs = _compile_expression(agg_payload, constants)
+        assigns.append(Assign("__head_value", fn, tuple(inputs)))
+        value = Var("__head_value")
+    head = Head(match.group("name").lower(), plain_terms[0], value, agg=agg)
+
+    # -- body ------------------------------------------------------------
+    atoms = []
+    for part in _split_top_level(body_text):
+        atom_match = _ATOM_RE.match(part)
+        if atom_match:
+            args = _split_top_level(atom_match.group("args"))
+            if atom_match.group("shard"):
+                args = [atom_match.group("shard")] + args
+            if drop_iteration_terms:
+                args = [a for a in args if not _is_iteration_term(a)]
+            atoms.append(Atom(atom_match.group("name").lower(),
+                              *[_parse_term(a) for a in args]))
+            continue
+        if "=" in part:
+            target, expression = part.split("=", 1)
+            target = target.strip()
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", target):
+                raise RuleSyntaxError(f"bad assignment target {target!r}")
+            fn, inputs = _compile_expression(expression.strip(), constants)
+            assigns.append(Assign(target, fn, tuple(inputs)))
+            continue
+        raise RuleSyntaxError(f"cannot parse body element {part!r}")
+    if not atoms:
+        raise RuleSyntaxError("rule body needs at least one table atom")
+
+    return Rule(head=head, body=atoms, assigns=assigns)
+
+
+def parse_program(text: str, constants: dict = None) -> list:
+    """Parse a multi-rule program (rules separated by '.' at line ends)."""
+    rules = []
+    for chunk in re.split(r"\.\s*(?:\n|$)", text):
+        chunk = chunk.strip()
+        if chunk:
+            rules.append(parse_rule(chunk, constants))
+    return rules

@@ -1,0 +1,100 @@
+"""Rule representation for the SociaLite engine.
+
+A rule is ``HEAD(key, $AGG(value_expr)) :- atom, atom, ..., assignments``
+— the exact shape of the paper's programs, e.g. (Section 3.1)::
+
+    RANK[n](t+1, $SUM(v)) :- RANK[s](t, v0), OUTEDGE[s](n),
+                             OUTDEG[s](d), v = (1-r) * v0 / d.
+
+maps to::
+
+    Rule(
+        head=Head("rank_next", Var("n"), Var("v"), agg="sum"),
+        body=[Atom("rank", Var("s"), Var("v0")),
+              Atom("outedge", Var("s"), Var("n")),
+              Atom("outdeg", Var("s"), Var("d"))],
+        assigns=[Assign("v", lambda v0, d: (1 - R) * v0 / d, ("v0", "d"))],
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ...errors import ReproError
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable; equality is by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A body literal: table name + terms (Var or int constant)."""
+
+    table: str
+    terms: tuple
+
+    def __init__(self, table: str, *terms):
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def variables(self):
+        return [t for t in self.terms if isinstance(t, Var)]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.terms))
+        return f"{self.table}({inner})"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = fn(*inputs)`` over bound columns (vectorized)."""
+
+    target: str
+    fn: Callable
+    inputs: tuple
+
+
+@dataclass(frozen=True)
+class Head:
+    """Head atom with aggregation: ``table(key, $AGG(value))``.
+
+    ``key`` is a Var or an int constant (the triangle query's
+    ``TRIANGLE(0, $INC(1))``); ``value`` is a Var, a float constant, or
+    None for pure counting (``$INC``).
+    """
+
+    table: str
+    key: object
+    value: object = None
+    agg: str = "sum"
+
+
+@dataclass
+class Rule:
+    """One Datalog rule."""
+
+    head: Head
+    body: list
+    assigns: list = field(default_factory=list)
+    #: Variable whose shard determines where body evaluation runs; used
+    #: for communication accounting. Defaults to the first variable of
+    #: the first body atom.
+    shard_var: str = None
+
+    def __post_init__(self):
+        if not self.body:
+            raise ReproError("rule body must have at least one atom")
+        if self.shard_var is None:
+            first_vars = self.body[0].variables()
+            if not first_vars:
+                raise ReproError("first body atom needs a variable")
+            self.shard_var = first_vars[0].name

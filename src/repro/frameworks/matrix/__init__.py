@@ -1,0 +1,25 @@
+"""Sparse-matrix semiring engine and the CombBLAS front-end."""
+
+from . import combblas
+from .semiring import (
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    SEMIRINGS,
+    Semiring,
+    semiring_spmv,
+)
+from .spmat import PROCS_PER_NODE, DistSpMat, ProcessGrid
+
+__all__ = [
+    "MIN_PLUS",
+    "OR_AND",
+    "PLUS_TIMES",
+    "PROCS_PER_NODE",
+    "SEMIRINGS",
+    "DistSpMat",
+    "ProcessGrid",
+    "Semiring",
+    "combblas",
+    "semiring_spmv",
+]

@@ -1,0 +1,209 @@
+"""2-D distributed sparse matrix with CombBLAS's process-grid layout.
+
+CombBLAS "partitions the non-zeros of the matrix (edges in the graph)
+across nodes ... the only framework that supports an edge-based
+partitioning" (Section 3), runs "as a pure MPI program" with 36 processes
+per node, and "requires the total number of processes to be a square"
+(Section 4.3). :class:`ProcessGrid` reproduces that: a g x g grid of MPI
+ranks mapped block-contiguously onto the cluster's nodes, with g chosen
+as the largest square that 36/node allows.
+
+:class:`DistSpMat` holds the block-distributed adjacency and provides the
+three communication-bearing kernels the paper's algorithms need, each
+returning both the numerical result (computed exactly) and the per-node
+traffic matrix of the 2-D algorithm:
+
+* ``spmv`` — column-band broadcast of x, local semiring multiply,
+  row-band reduction of partial y (the classic 2-D SpMV);
+* ``spgemm_aa`` — SUMMA-style A @ A with A broadcast along both grid
+  dimensions, materializing the full product (the expressibility problem
+  that makes triangle counting blow up: Sections 5.2/6.2);
+* ``ewise_mult_sum`` — elementwise mask-and-sum against another matrix.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import sparse
+
+from ...errors import PartitionError
+from ...graph import CSRGraph
+from .semiring import PLUS_TIMES, Semiring, semiring_spmv
+
+PROCS_PER_NODE = 36
+
+
+class ProcessGrid:
+    """Square grid of MPI ranks mapped contiguously onto nodes."""
+
+    def __init__(self, num_nodes: int, procs_per_node: int = PROCS_PER_NODE):
+        if num_nodes < 1:
+            raise PartitionError("num_nodes must be >= 1")
+        total = num_nodes * procs_per_node
+        self.grid = max(math.isqrt(total), 1)
+        self.num_nodes = num_nodes
+        self.num_procs = self.grid * self.grid
+
+    def node_of_rank(self, rank) -> np.ndarray:
+        """Block-contiguous rank -> node mapping."""
+        rank = np.asarray(rank, dtype=np.int64)
+        return np.minimum(rank * self.num_nodes // self.num_procs,
+                          self.num_nodes - 1)
+
+    def rank_of(self, row: int, col: int) -> int:
+        return int(row) * self.grid + int(col)
+
+    def aggregate_to_nodes(self, proc_traffic: np.ndarray) -> np.ndarray:
+        """Collapse a rank-pair traffic matrix to a node-pair matrix."""
+        nodes = np.zeros((self.num_nodes, self.num_nodes))
+        owner = self.node_of_rank(np.arange(self.num_procs))
+        np.add.at(nodes, (owner[:, None].repeat(self.num_procs, axis=1),
+                          owner[None, :].repeat(self.num_procs, axis=0)),
+                  proc_traffic)
+        return nodes
+
+
+class DistSpMat:
+    """The adjacency of ``graph`` distributed over a :class:`ProcessGrid`."""
+
+    def __init__(self, graph: CSRGraph, grid: ProcessGrid):
+        self.graph = graph
+        self.grid = grid
+        n = graph.num_vertices
+        g = grid.grid
+        # Band boundaries of the block distribution.
+        self.bounds = np.linspace(0, n, g + 1).astype(np.int64)
+        src = graph.sources()
+        dst = graph.targets
+        row_band = np.minimum(np.searchsorted(self.bounds, src, "right") - 1,
+                              g - 1)
+        col_band = np.minimum(np.searchsorted(self.bounds, dst, "right") - 1,
+                              g - 1)
+        self.block_nnz = np.zeros((g, g), dtype=np.int64)
+        np.add.at(self.block_nnz, (row_band, col_band), 1)
+        self.scipy = sparse.csr_matrix(
+            (np.ones(graph.num_edges), dst, graph.offsets.astype(np.int64)),
+            shape=(n, n),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return self.graph.num_edges
+
+    def band_sizes(self) -> np.ndarray:
+        return np.diff(self.bounds)
+
+    def nnz_per_node(self) -> np.ndarray:
+        """Edges stored per cluster node (for memory accounting)."""
+        g = self.grid.grid
+        ranks = np.arange(self.grid.num_procs)
+        owner = self.grid.node_of_rank(ranks)
+        per_node = np.zeros(self.grid.num_nodes)
+        np.add.at(per_node, owner, self.block_nnz.reshape(-1)[ranks])
+        return per_node
+
+    # -- kernels -------------------------------------------------------------
+
+    def spmv_traffic(self, x_entries_per_band: np.ndarray,
+                     y_entries_per_band: np.ndarray,
+                     value_bytes: float = 8.0) -> np.ndarray:
+        """Node traffic of one 2-D SpMV.
+
+        Stage 1: the diagonal rank of each column band broadcasts its x
+        segment down the column (g-1 recipients). Stage 2: each rank
+        sends its partial y segment to the diagonal rank of its row band
+        (fold). Entry counts allow sparse vectors (BFS frontiers) — only
+        present entries travel.
+        """
+        g = self.grid.grid
+        nodes = self.grid.num_nodes
+        node_traffic = np.zeros((nodes, nodes))
+        rank_node = self.grid.node_of_rank(np.arange(self.grid.num_procs))
+        for band in range(g):
+            x_bytes = float(x_entries_per_band[band]) * value_bytes
+            y_bytes = float(y_entries_per_band[band]) * value_bytes
+            diag_node = int(rank_node[self.grid.rank_of(band, band)])
+            # MPI collectives move each segment once per *node*: the
+            # broadcast tree forwards within a node over shared memory.
+            column_nodes = {
+                int(rank_node[self.grid.rank_of(row, band)])
+                for row in range(g)
+            }
+            for target in column_nodes:
+                if target != diag_node:
+                    node_traffic[diag_node, target] += x_bytes
+            row_nodes = {
+                int(rank_node[self.grid.rank_of(band, col)])
+                for col in range(g)
+            }
+            for source in row_nodes:
+                if source != diag_node:
+                    node_traffic[source, diag_node] += y_bytes
+        return node_traffic
+
+    def _entries_per_band(self, vector: np.ndarray, zero: float) -> np.ndarray:
+        if np.isinf(zero):
+            present = np.nonzero(np.isfinite(vector))[0]
+        else:
+            present = np.nonzero(vector != zero)[0]
+        return np.histogram(present, bins=self.bounds)[0].astype(np.float64)
+
+    def spmv(self, x: np.ndarray, semiring: Semiring = PLUS_TIMES,
+             edge_values: np.ndarray = None, sparse_x: bool = False,
+             value_bytes: float = 8.0):
+        """``y = A^T x`` plus (flops, traffic) of the 2-D algorithm."""
+        y = semiring_spmv(self.graph, x, semiring, edge_values)
+        if sparse_x:
+            x_bands = self._entries_per_band(x, semiring.zero)
+            y_bands = self._entries_per_band(y, semiring.zero)
+            if np.isinf(semiring.zero):
+                present = np.nonzero(np.isfinite(x))[0]
+            else:
+                present = np.nonzero(x != semiring.zero)[0]
+            degrees = self.graph.out_degrees()
+            flops = 2.0 * float(degrees[present].sum())
+        else:
+            x_bands = self.band_sizes().astype(np.float64)
+            y_bands = x_bands
+            flops = 2.0 * float(self.nnz)
+        traffic = self.spmv_traffic(x_bands, y_bands, value_bytes)
+        return y, flops, traffic
+
+    def spgemm_aa(self):
+        """``A @ A`` (path counts), with its flop count and traffic.
+
+        SUMMA stages broadcast every A block along its row *and* column
+        of the grid, so each rank's nnz crosses the wire ~2(g-1)/g x 16
+        bytes; the result blocks stay put. The caller is responsible for
+        registering the product's memory — that allocation is what kills
+        CombBLAS triangle counting on big inputs.
+        """
+        product = self.scipy @ self.scipy
+        degrees = np.asarray(self.scipy.sum(axis=1)).ravel()
+        # Multiply count: for each nonzero (u, v), row v's nnz.
+        flops = 2.0 * float(degrees[self.graph.targets].sum())
+
+        g = self.grid.grid
+        nodes = self.grid.num_nodes
+        node_traffic = np.zeros((nodes, nodes))
+        rank_node = self.grid.node_of_rank(np.arange(self.grid.num_procs))
+        block_bytes = self.block_nnz * 16.0
+        for row in range(g):
+            for col in range(g):
+                source = int(rank_node[self.grid.rank_of(row, col)])
+                nbytes = float(block_bytes[row, col])
+                row_targets = {int(rank_node[self.grid.rank_of(row, other)])
+                               for other in range(g)}
+                col_targets = {int(rank_node[self.grid.rank_of(other, col)])
+                               for other in range(g)}
+                for target in row_targets | col_targets:
+                    if target != source:
+                        node_traffic[source, target] += nbytes
+        return product, flops, node_traffic
+
+    def ewise_mult_sum(self, other) -> "tuple[float, float]":
+        """``sum(A .* other)`` and its flop count (blocks are aligned)."""
+        masked = self.scipy.multiply(other)
+        return float(masked.sum()), 2.0 * float(self.scipy.nnz)

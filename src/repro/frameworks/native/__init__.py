@@ -1,0 +1,33 @@
+"""Hand-optimized native implementations — the paper's reference point."""
+
+from .bfs import bfs
+from .cf import DEFAULT_K, collaborative_filtering, iterations_to_rmse
+from .compression import (
+    bitvector_decode,
+    bitvector_encode,
+    delta_varint_decode,
+    delta_varint_encode,
+    encode_id_set,
+    encoded_size,
+)
+from .options import FIGURE7_LADDER, NativeOptions
+from .pagerank import DEFAULT_DAMPING, pagerank
+from .triangle import triangle_count
+
+__all__ = [
+    "DEFAULT_DAMPING",
+    "DEFAULT_K",
+    "FIGURE7_LADDER",
+    "NativeOptions",
+    "bfs",
+    "bitvector_decode",
+    "bitvector_encode",
+    "collaborative_filtering",
+    "delta_varint_decode",
+    "delta_varint_encode",
+    "encode_id_set",
+    "encoded_size",
+    "iterations_to_rmse",
+    "pagerank",
+    "triangle_count",
+]

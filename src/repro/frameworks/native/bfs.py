@@ -1,0 +1,150 @@
+"""Hand-optimized native BFS (paper Sections 3.2 and 6.1, after [28]).
+
+Level-synchronous frontier expansion with the paper's optimizations:
+
+* a **bit-vector** visited set ("to compactly maintain the list of
+  already visited vertices [12, 28]") — 1 bit per vertex instead of a
+  byte, worth ~2x in the paper;
+* **message compression** of the remotely-discovered vertex ids, using
+  the adaptive bit-vector / delta-varint encoder (worth ~3.2x);
+* **overlap** of frontier expansion with the id exchange;
+* software **prefetching** of the irregular visited-set probes.
+
+Each BFS level is one superstep: every node expands the frontier
+vertices it owns, locally deduplicates discoveries (the paper's "local
+reductions"), and sends remote discoveries to their owners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cluster import Cluster, ComputeWork
+from ...graph import CSRGraph, partition_edges_1d
+from ..results import AlgorithmResult
+from .compression import encoded_size
+from .options import NativeOptions
+
+_UNREACHED = np.iinfo(np.int32).max
+
+
+def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0,
+        options: NativeOptions = None) -> AlgorithmResult:
+    """Breadth-first search from ``source`` on an undirected CSR graph.
+
+    Returns int32 distances (edges from the source), ``INT32_MAX`` for
+    unreachable vertices, matching the paper's "Int (distance)" vertex
+    property (Table 1).
+    """
+    options = options or NativeOptions()
+    num_vertices = graph.num_vertices
+    if not 0 <= source < num_vertices:
+        raise ValueError(f"source {source} out of range")
+
+    part = partition_edges_1d(graph, cluster.num_nodes)
+    bounds = part.bounds
+    edges_per_node = np.diff(graph.offsets[bounds]).astype(np.float64)
+    verts_per_node = part.part_sizes().astype(np.float64)
+
+    # Static allocations: CSR share, distances, visited structure.
+    visited_bytes_per_vertex = 1.0 / 8.0 if options.bitvector else 1.0
+    for node in range(cluster.num_nodes):
+        cluster.allocate(node, "graph",
+                         8 * edges_per_node[node] + 8 * (verts_per_node[node] + 1))
+        cluster.allocate(node, "distances", 4 * verts_per_node[node])
+        cluster.allocate(node, "visited",
+                         visited_bytes_per_vertex * num_vertices)
+
+    distances = np.full(num_vertices, _UNREACHED, dtype=np.int32)
+    distances[source] = 0
+    visited = np.zeros(num_vertices, dtype=bool)
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+
+    level = 0
+    frontier_sizes = [1]
+    total_edges_examined = 0.0
+    raw_traffic_total = 0.0
+    wire_traffic_total = 0.0
+
+    while frontier.size:
+        level += 1
+        frontier_owner = part.owner_of_many(frontier)
+        traffic = np.zeros((cluster.num_nodes, cluster.num_nodes))
+        works = []
+        discovered_all = []
+
+        for node in range(cluster.num_nodes):
+            mine = frontier[frontier_owner == node]
+            neighbors, _ = graph.neighbors_of_many(mine)
+            edges_examined = float(neighbors.size)
+            total_edges_examined += edges_examined
+
+            # Local combine: dedup + drop already-visited before sending.
+            candidates = np.unique(neighbors)
+            fresh = candidates[~visited[candidates]]
+            discovered_all.append(fresh)
+
+            # Route remote discoveries to their owners.
+            fresh_owner = part.owner_of_many(fresh)
+            for owner in np.unique(fresh_owner):
+                owner = int(owner)
+                ids = fresh[fresh_owner == owner]
+                raw = 8.0 * ids.size
+                if owner == node:
+                    continue
+                raw_traffic_total += raw
+                if options.compression:
+                    lo, hi = part.part_range(owner)
+                    nbytes = float(encoded_size(ids - lo, hi - lo))
+                else:
+                    nbytes = raw
+                traffic[node, owner] += nbytes
+                wire_traffic_total += nbytes
+
+            # Work counters: adjacency scan streams, plus the dedup /
+            # scatter passes over the discovered candidates (~2 extra
+            # passes of the neighbor stream); the visited-set probes are
+            # irregular (bit- or byte-granular at line cost) and the
+            # distance writes touch each fresh vertex once.
+            probe_bytes = 8.0 * visited_bytes_per_vertex * edges_examined
+            works.append(ComputeWork(
+                streamed_bytes=(8 + 12) * edges_examined + 8 * mine.size,
+                random_bytes=probe_bytes + 4 * fresh.size,
+                ops=4 * edges_examined,
+                prefetch=options.prefetch,
+            ))
+
+        # Receive-side buffers sized by this level's incoming traffic.
+        for node in range(cluster.num_nodes):
+            incoming = traffic[:, node].sum()
+            if options.overlap:
+                # The 16 MB blocking window is a physical buffer size;
+                # divide by the extrapolation factor since allocations
+                # are scaled back up by the memory tracker.
+                incoming = min(incoming, 16 * 2**20 / cluster.scale_factor)
+            cluster.allocate(node, "recv-buffers", incoming)
+
+        cluster.superstep(works, traffic, overlap=options.overlap)
+        cluster.mark_iteration()
+
+        fresh = np.unique(np.concatenate(discovered_all)) if discovered_all \
+            else np.zeros(0, dtype=np.int64)
+        fresh = fresh[~visited[fresh]]
+        visited[fresh] = True
+        distances[fresh] = level
+        frontier = fresh
+        frontier_sizes.append(int(fresh.size))
+
+    metrics = cluster.metrics()
+    return AlgorithmResult(
+        algorithm="bfs", framework="native", values=distances,
+        iterations=level, metrics=metrics,
+        extras={
+            "frontier_sizes": frontier_sizes,
+            "edges_examined": total_edges_examined,
+            "compression_ratio": (raw_traffic_total / wire_traffic_total
+                                  if wire_traffic_total > 0 else 1.0),
+            "reached": int(visited.sum()),
+        },
+    )

@@ -1,0 +1,51 @@
+"""Optimization toggles of the native implementation (Section 6.1.1).
+
+Figure 7 of the paper measures the cumulative effect of these exact
+switches on PageRank and BFS; the triangle-counting bit-vector gives
+~2.2x (Section 6.1.2) and the Gemulla diagonal partitioning enables
+lock-free SGD for collaborative filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NativeOptions:
+    """Which native optimizations are enabled.
+
+    * ``prefetch`` — software prefetch instructions that "help hide the
+      long latency of irregular memory accesses";
+    * ``compression`` — delta-varint / bit-vector message compression;
+    * ``overlap`` — overlap of computation and communication;
+    * ``bitvector`` — bit-vector data structures for visited sets (BFS)
+      and neighborhood membership (triangle counting).
+    """
+
+    prefetch: bool = True
+    compression: bool = True
+    overlap: bool = True
+    bitvector: bool = True
+
+    @classmethod
+    def baseline(cls) -> "NativeOptions":
+        """Everything off — the Figure 7 '1x' reference."""
+        return cls(prefetch=False, compression=False, overlap=False,
+                   bitvector=False)
+
+    def with_(self, **flags) -> "NativeOptions":
+        """Copy with the given flags changed (waterfall sweeps)."""
+        return replace(self, **flags)
+
+
+#: The cumulative optimization ladder of Figure 7, in paper order.
+FIGURE7_LADDER = (
+    ("baseline", NativeOptions.baseline()),
+    ("+ s/w prefetching", NativeOptions.baseline().with_(prefetch=True)),
+    ("+ compression", NativeOptions.baseline().with_(prefetch=True,
+                                                     compression=True)),
+    ("+ overlap comp. and comm.", NativeOptions.baseline().with_(
+        prefetch=True, compression=True, overlap=True)),
+    ("+ data structure opt.", NativeOptions()),
+)

@@ -1,0 +1,46 @@
+"""Common result type returned by every (algorithm, framework) runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster.metrics import RunMetrics
+
+
+@dataclass
+class AlgorithmResult:
+    """Output values + measured behaviour of one algorithm run.
+
+    ``values`` is algorithm-specific: the PageRank vector, the BFS
+    distance array, the triangle count, or the ``(P, Q)`` factor pair for
+    collaborative filtering. ``metrics`` carries the simulated runtime and
+    the Figure 6 observables. ``extras`` holds per-algorithm diagnostics
+    (frontier sizes, training error curve, compression ratios, ...).
+    """
+
+    algorithm: str
+    framework: str
+    values: Any
+    iterations: int
+    metrics: RunMetrics
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.metrics.total_time_s
+
+    @property
+    def time_per_iteration_s(self) -> float:
+        return self.metrics.time_per_iteration_s
+
+    def runtime_for_comparison(self) -> float:
+        """The number the paper compares across frameworks.
+
+        PageRank and collaborative filtering compare *time per iteration*
+        (Section 5.2: normalizes out convergence-detection and SGD-vs-GD
+        differences); BFS and triangle counting compare total time.
+        """
+        if self.algorithm in ("pagerank", "collaborative_filtering"):
+            return self.time_per_iteration_s
+        return self.total_time_s

@@ -1,0 +1,48 @@
+"""Vertex-programming engine and the GraphLab / Giraph front-ends."""
+
+from . import giraph, gps, graphlab, graphx
+from .async_engine import (
+    AsyncScheduler,
+    AsyncStats,
+    pagerank_delta_async,
+    pagerank_sync_to_tolerance,
+)
+from .engine import (
+    BSPEngine,
+    ExchangeStats,
+    VertexContext,
+    VertexProgram,
+    run_vertex_program,
+)
+from .programs import (
+    BFSVertexProgram,
+    PageRankVertexProgram,
+    bfs_vertex,
+    bipartite_graph,
+    cf_gd_vertex,
+    pagerank_vertex,
+    triangle_vertex,
+)
+
+__all__ = [
+    "AsyncScheduler",
+    "AsyncStats",
+    "BFSVertexProgram",
+    "BSPEngine",
+    "gps",
+    "graphx",
+    "pagerank_delta_async",
+    "pagerank_sync_to_tolerance",
+    "ExchangeStats",
+    "PageRankVertexProgram",
+    "VertexContext",
+    "VertexProgram",
+    "bfs_vertex",
+    "bipartite_graph",
+    "cf_gd_vertex",
+    "giraph",
+    "graphlab",
+    "pagerank_vertex",
+    "run_vertex_program",
+    "triangle_vertex",
+]

@@ -1,0 +1,42 @@
+"""GraphLab front-end: vertex programs, vertex-cut, sockets, cuckoo TC.
+
+The paper's GraphLab (v2.2) characteristics bound here:
+
+* vertex-cut partitioning with high-degree replication (Section 6.1.1);
+* TCP-socket communication achieving ~20-25% of the fabric (Section 6.2);
+* computation/communication overlap via message blocking, which keeps
+  its triangle-counting memory footprint low (Section 6.1.1);
+* a cuckoo-hash neighbor structure for triangle counting that makes it
+  one of the best multi-node TC performers (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from ...cluster import Cluster
+from ...graph import CSRGraph, RatingsMatrix
+from ..base import GRAPHLAB
+from ..results import AlgorithmResult
+from .programs import bfs_vertex, cf_gd_vertex, pagerank_vertex, triangle_vertex
+
+
+def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
+             damping: float = 0.3) -> AlgorithmResult:
+    return pagerank_vertex(graph, cluster, GRAPHLAB, iterations, damping,
+                           partition_mode="vertex-cut")
+
+
+def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
+    return bfs_vertex(graph, cluster, GRAPHLAB, source,
+                      partition_mode="vertex-cut")
+
+
+def triangle_count(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return triangle_vertex(graph, cluster, GRAPHLAB,
+                           partition_mode="vertex-cut", use_cuckoo=True)
+
+
+def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
+                            hidden_dim: int = 64, iterations: int = 10,
+                            **kwargs) -> AlgorithmResult:
+    return cf_gd_vertex(ratings, cluster, GRAPHLAB, hidden_dim, iterations,
+                        partition_mode="vertex-cut", **kwargs)

@@ -1,0 +1,69 @@
+"""GraphX front-end (related work, paper Section 7).
+
+"GraphX [35] is a graph framework built on top of Spark [36] and uses
+vertex programming. [35] showed that GraphX is about 7x slower than
+GraphLab for pagerank (including file read). This would put GraphX at
+the slower end of the spectrum of frameworks considered in this paper."
+
+Modeled as vertex programming materialized through Spark's RDD
+machinery: every superstep is a shuffle (immutable triplets re-built,
+hash-partitioned exchange), with JVM serialization on each record and
+Spark's per-stage scheduling latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ...cluster import Cluster
+from ...cluster.network import CommLayer
+from ...graph import CSRGraph, RatingsMatrix
+from ..base import GRAPHLAB, FrameworkProfile
+from ..results import AlgorithmResult
+from .programs import bfs_vertex, cf_gd_vertex, pagerank_vertex, triangle_vertex
+
+#: Spark block-transfer service: netty-based shuffle, better tuned than
+#: Hadoop RPC but with shuffle-file spill overheads.
+SPARK_SHUFFLE = CommLayer("spark-shuffle", efficiency=0.15, latency_s=200e-6,
+                          byte_overhead=0.30)
+
+GRAPHX: FrameworkProfile = replace(
+    GRAPHLAB,
+    name="graphx",
+    display_name="GraphX",
+    language="Scala/JVM",
+    partitioning="2-D hash (edge triplets)",
+    comm_layer=SPARK_SHUFFLE,
+    cpu_efficiency=0.10,           # RDD immutability: rebuild, don't update
+    message_overhead_factor=2.5,   # serialized triplet records
+    superstep_overhead_s=0.35,     # Spark stage scheduling per superstep
+    overlaps_communication=False,  # shuffle barriers
+    combines_messages=False,       # per-edge triplets materialize in the
+                                   # shuffle before any reduceByKey
+    prefetch=False,
+    notes="Related work (Section 7): ~7x slower than GraphLab on "
+          "PageRank; slower end of the studied spectrum.",
+)
+
+
+def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
+             damping: float = 0.3) -> AlgorithmResult:
+    return pagerank_vertex(graph, cluster, GRAPHX, iterations, damping,
+                           partition_mode="1d")
+
+
+def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
+    return bfs_vertex(graph, cluster, GRAPHX, source, partition_mode="1d")
+
+
+def triangle_count(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return triangle_vertex(graph, cluster, GRAPHX, partition_mode="1d",
+                           superstep_splits=4)
+
+
+def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
+                            hidden_dim: int = 64, iterations: int = 10,
+                            **kwargs) -> AlgorithmResult:
+    return cf_gd_vertex(ratings, cluster, GRAPHX, hidden_dim, iterations,
+                        partition_mode="1d", superstep_splits=4,
+                        combine_messages=True, **kwargs)

@@ -1,0 +1,45 @@
+"""Graph substrate: storage formats, partitioners and graph statistics."""
+
+from .bipartite import RatingsMatrix
+from .bitvector import BitVector
+from .csr import CSRGraph
+from .cuckoo import CuckooHashSet
+from .edgelist import EdgeList
+from .partition import (
+    Partition1D,
+    Partition2D,
+    VertexCutPartition,
+    partition_2d,
+    partition_edges_1d,
+    partition_vertex_cut,
+    partition_vertices_1d,
+)
+from .properties import (
+    PowerLawFit,
+    count_triangles_exact,
+    degree_histogram,
+    fit_power_law,
+    gini_coefficient,
+    tail_distance,
+)
+
+__all__ = [
+    "BitVector",
+    "CSRGraph",
+    "CuckooHashSet",
+    "EdgeList",
+    "Partition1D",
+    "Partition2D",
+    "PowerLawFit",
+    "RatingsMatrix",
+    "VertexCutPartition",
+    "count_triangles_exact",
+    "degree_histogram",
+    "fit_power_law",
+    "gini_coefficient",
+    "partition_2d",
+    "partition_edges_1d",
+    "partition_vertex_cut",
+    "partition_vertices_1d",
+    "tail_distance",
+]

@@ -1,0 +1,113 @@
+"""Edge-list persistence: whitespace text (SNAP-style) and NPZ binary.
+
+The real datasets the paper uses (LiveJournal, Twitter, Netflix, ...) ship
+as whitespace-separated edge lists; this module reads and writes that
+format, plus a compact ``.npz`` binary for cached synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .bipartite import RatingsMatrix
+from .edgelist import EdgeList
+
+
+def save_edgelist_text(path, edges: EdgeList) -> None:
+    """Write ``src dst [weight]`` lines with a header comment."""
+    columns = [edges.src, edges.dst]
+    fmt = "%d %d"
+    if edges.weights is not None:
+        columns.append(edges.weights)
+        fmt = "%d %d %.17g"
+    header = f"num_vertices={edges.num_vertices} num_edges={edges.num_edges}"
+    np.savetxt(path, np.column_stack(columns), fmt=fmt, header=header)
+
+
+def load_edgelist_text(path, num_vertices: int = None) -> EdgeList:
+    """Read ``src dst [weight]`` lines; '#'-prefixed lines are comments.
+
+    If the file carries the header written by :func:`save_edgelist_text`,
+    ``num_vertices`` is recovered from it; otherwise it defaults to
+    ``max id + 1`` unless given explicitly.
+    """
+    header_vertices = None
+    with open(path) as handle:
+        first = handle.readline()
+    if first.startswith("#") and "num_vertices=" in first:
+        try:
+            header_vertices = int(first.split("num_vertices=")[1].split()[0])
+        except (IndexError, ValueError) as exc:
+            raise GraphFormatError(f"malformed header in {path}") from exc
+
+    data = np.loadtxt(path, comments="#", ndmin=2)
+    if data.size == 0:
+        if num_vertices is None and header_vertices is None:
+            raise GraphFormatError(f"{path} is empty and num_vertices unknown")
+        n = num_vertices if num_vertices is not None else header_vertices
+        return EdgeList(n, np.zeros(0, np.int64), np.zeros(0, np.int64))
+    if data.shape[1] not in (2, 3):
+        raise GraphFormatError(
+            f"{path}: expected 2 or 3 columns, found {data.shape[1]}"
+        )
+    src = data[:, 0].astype(np.int64)
+    dst = data[:, 1].astype(np.int64)
+    weights = data[:, 2] if data.shape[1] == 3 else None
+    if num_vertices is None:
+        num_vertices = header_vertices
+    if num_vertices is None:
+        num_vertices = int(max(src.max(), dst.max())) + 1
+    return EdgeList(num_vertices, src, dst, weights)
+
+
+def save_edgelist_npz(path, edges: EdgeList) -> None:
+    payload = {
+        "num_vertices": np.int64(edges.num_vertices),
+        "src": edges.src,
+        "dst": edges.dst,
+    }
+    if edges.weights is not None:
+        payload["weights"] = edges.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_edgelist_npz(path) -> EdgeList:
+    with np.load(path) as data:
+        weights = data["weights"] if "weights" in data else None
+        return EdgeList(int(data["num_vertices"]), data["src"], data["dst"], weights)
+
+
+def save_ratings_npz(path, ratings: RatingsMatrix) -> None:
+    np.savez_compressed(
+        path,
+        num_users=np.int64(ratings.num_users),
+        num_items=np.int64(ratings.num_items),
+        users=ratings.users,
+        items=ratings.items,
+        ratings=ratings.ratings,
+    )
+
+
+def load_ratings_npz(path) -> RatingsMatrix:
+    with np.load(path) as data:
+        return RatingsMatrix(
+            int(data["num_users"]), int(data["num_items"]),
+            data["users"], data["items"], data["ratings"],
+        )
+
+
+def cached(path, builder, loader, saver):
+    """Load from ``path`` if present, else build, save and return.
+
+    Small helper used by the experiment harness to avoid regenerating
+    synthetic datasets on every run.
+    """
+    if os.path.exists(path):
+        return loader(path)
+    obj = builder()
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    saver(path, obj)
+    return obj

@@ -1,0 +1,60 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from . import report
+from .datasets import (
+    HARNESS_HIDDEN_DIM,
+    HARNESS_ITERATIONS,
+    PAPER_EDGES_PER_NODE,
+    paper_scale_factor,
+    single_node_graph,
+    single_node_ratings,
+    weak_scaling_dataset,
+)
+from .figures import figure3, figure4, figure5, figure6, figure7, sgd_vs_gd
+from .graph500 import Graph500Result, run_graph500
+from .persistence import compare_artifacts, load_artifact, save_artifact
+from .runner import (
+    STATUS_OK,
+    STATUS_OOM,
+    STATUS_UNSUPPORTED,
+    RunResult,
+    run_experiment,
+)
+from .strong_scaling import parallel_efficiency, strong_scaling
+from .tables import table1, table2, table3, table4, table5, table6, table7
+
+__all__ = [
+    "Graph500Result",
+    "compare_artifacts",
+    "load_artifact",
+    "parallel_efficiency",
+    "run_graph500",
+    "save_artifact",
+    "strong_scaling",
+    "HARNESS_HIDDEN_DIM",
+    "HARNESS_ITERATIONS",
+    "PAPER_EDGES_PER_NODE",
+    "RunResult",
+    "STATUS_OK",
+    "STATUS_OOM",
+    "STATUS_UNSUPPORTED",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "paper_scale_factor",
+    "report",
+    "run_experiment",
+    "sgd_vs_gd",
+    "single_node_graph",
+    "single_node_ratings",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "weak_scaling_dataset",
+]

@@ -1,0 +1,129 @@
+"""Experiment-scale dataset construction with paper-scale factors.
+
+Central place that decides, for every experiment, (a) which proxy
+dataset to execute on and (b) the ``scale_factor`` that extrapolates the
+counted work to the paper's dataset sizes. Proxies are cached per
+process (they are deterministic), so the table and figure regenerators
+can share them.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..datagen import (
+    CATALOG,
+    bfs_variant,
+    dataset as _catalog_dataset,
+    netflix_like_ratings,
+    rmat_graph,
+    rmat_triangle_graph,
+    triangle_variant,
+)
+
+#: Paper weak-scaling budgets (Figure 4 captions).
+PAPER_EDGES_PER_NODE = {
+    "pagerank": 128e6,
+    "bfs": 128e6,
+    "collaborative_filtering": 256e6,
+    "triangle_counting": 32e6,
+}
+
+#: CF hidden dimension used throughout the harness. The paper's is ~1000
+#: (8 KB messages); we use 32 to keep proxy runs fast — slowdown *ratios*
+#: are insensitive to K because every engine's work scales with it.
+HARNESS_HIDDEN_DIM = 32
+
+#: Iteration budget for per-iteration-timed algorithms.
+HARNESS_ITERATIONS = 3
+
+
+@functools.lru_cache(maxsize=64)
+def single_node_graph(name: str, algorithm: str):
+    """Proxy graph for the Figure 3 single-node panels."""
+    if algorithm == "bfs":
+        return bfs_variant(name)
+    if algorithm == "triangle_counting":
+        return triangle_variant(name)
+    return _catalog_dataset(name)
+
+
+@functools.lru_cache(maxsize=8)
+def single_node_ratings(name: str):
+    return _catalog_dataset(name)
+
+
+def paper_scale_factor(name: str, proxy_edges: int) -> float:
+    """Paper dataset edges / proxy edges for a catalog dataset."""
+    spec = CATALOG[name]
+    if spec.paper_edges <= 0:
+        return 1.0
+    return spec.paper_edges / max(proxy_edges, 1)
+
+
+# -- weak scaling (Figure 4) -------------------------------------------------
+
+#: Proxy edge budget per node for weak-scaling runs. Small enough that a
+#: 64-node run executes in seconds, large enough that per-node counters
+#: are stable.
+PROXY_EDGES_PER_NODE = {
+    "pagerank": 16384,
+    "bfs": 16384,
+    "collaborative_filtering": 24576,
+    "triangle_counting": 6144,
+}
+
+
+def _scale_for_nodes(base_scale: int, nodes: int) -> int:
+    scale = base_scale
+    remaining = nodes
+    while remaining > 1:
+        scale += 1
+        remaining //= 2
+    return scale
+
+
+@functools.lru_cache(maxsize=64)
+def weak_scaling_graph(algorithm: str, nodes: int):
+    """Graph with ~PROXY_EDGES_PER_NODE[algorithm] x nodes edges."""
+    if algorithm == "triangle_counting":
+        return rmat_triangle_graph(_scale_for_nodes(10, nodes),
+                                   edge_factor=8, seed=900 + nodes)
+    directed = algorithm == "pagerank"
+    return rmat_graph(_scale_for_nodes(10, nodes), edge_factor=16,
+                      seed=900 + nodes, directed=directed)
+
+
+@functools.lru_cache(maxsize=64)
+def weak_scaling_ratings(nodes: int):
+    return netflix_like_ratings(_scale_for_nodes(11, nodes),
+                                num_items=64 * nodes, seed=900 + nodes)
+
+
+#: Triangle counting's work and message volume grow superlinearly in the
+#: edge count on heavy-tailed graphs (both scale with sum of squared
+#: degrees, ~E^1.25 for RMAT), so its paper-scale extrapolation applies
+#: this exponent to the edge ratio instead of scaling linearly.
+TRIANGLE_SCALE_EXPONENT = 1.25
+
+
+def scale_factor_for(algorithm: str, paper_size: float,
+                     proxy_size: float) -> float:
+    """Extrapolation factor from a proxy size to a paper size."""
+    ratio = paper_size / max(proxy_size, 1.0)
+    if algorithm == "triangle_counting":
+        return ratio ** TRIANGLE_SCALE_EXPONENT
+    return ratio
+
+
+def weak_scaling_dataset(algorithm: str, nodes: int):
+    """(dataset, scale_factor) for one weak-scaling point."""
+    if algorithm == "collaborative_filtering":
+        data = weak_scaling_ratings(nodes)
+        proxy_per_node = data.num_ratings / nodes
+    else:
+        data = weak_scaling_graph(algorithm, nodes)
+        proxy_per_node = data.num_edges / nodes
+    factor = scale_factor_for(algorithm, PAPER_EDGES_PER_NODE[algorithm],
+                              proxy_per_node)
+    return data, factor

@@ -1,0 +1,110 @@
+"""Graph500-style BFS benchmark harness (the paper's reference [23]).
+
+"This algorithm is part of the Graph500 benchmark" (Section 2). The
+official benchmark prescribes: generate an RMAT graph at a given scale,
+pick 64 search keys uniformly from the vertices with at least one edge,
+run one BFS per key, *validate* every output tree, and report the
+harmonic mean of TEPS (traversed edges per second) with its quantiles.
+
+This module reproduces that protocol on the simulated cluster for any of
+the package's frameworks; TEPS here are simulated-time TEPS at the
+configured extrapolation factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.bfs import UNREACHED, validate_distances
+from ..datagen import rmat_graph
+from .runner import run_experiment
+
+
+@dataclass
+class Graph500Result:
+    """The statistics the official benchmark reports."""
+
+    scale: int
+    num_edges: int
+    num_roots: int
+    harmonic_mean_teps: float
+    min_teps: float
+    median_teps: float
+    max_teps: float
+    mean_time_s: float
+    all_valid: bool
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph500Result(scale={self.scale}, "
+            f"harmonic_mean_teps={self.harmonic_mean_teps:.3e}, "
+            f"valid={self.all_valid})"
+        )
+
+
+def choose_search_keys(graph, num_roots: int, seed: int = 2) -> np.ndarray:
+    """Sample roots uniformly from vertices with degree >= 1 (spec 2.4)."""
+    degrees = graph.out_degrees()
+    candidates = np.nonzero(degrees > 0)[0]
+    if candidates.size == 0:
+        raise ValueError("graph has no vertices with edges")
+    rng = np.random.default_rng(seed)
+    count = min(num_roots, candidates.size)
+    return rng.choice(candidates, size=count, replace=False)
+
+
+def traversed_edges(graph, distances) -> float:
+    """Edges with at least one endpoint reached, counted once.
+
+    The Graph500 TEPS numerator: input edges "traversed" by the search.
+    On our symmetrized graphs each undirected edge is stored twice, so
+    halve the directed count.
+    """
+    reached = distances != UNREACHED
+    src_reached = reached[graph.sources()]
+    return float(src_reached.sum()) / 2.0
+
+
+def run_graph500(scale: int = 12, edge_factor: int = 16, nodes: int = 1,
+                 framework: str = "native", num_roots: int = 16,
+                 scale_factor: float = 1.0, seed: int = 1) -> Graph500Result:
+    """Run the Graph500 BFS protocol and return its statistics.
+
+    ``num_roots`` defaults to 16 (the official 64 at laptop scale just
+    repeats similar searches; tests use fewer still).
+    """
+    graph = rmat_graph(scale, edge_factor=edge_factor, seed=seed,
+                       directed=False)
+    roots = choose_search_keys(graph, num_roots)
+
+    teps = []
+    times = []
+    all_valid = True
+    for root in roots:
+        run = run_experiment("bfs", framework, graph, nodes=nodes,
+                             scale_factor=scale_factor, source=int(root))
+        if not run.ok:
+            raise RuntimeError(
+                f"{framework} BFS failed on root {root}: {run.status}"
+            )
+        distances = run.result.values
+        all_valid &= validate_distances(graph, int(root), distances)
+        edges = traversed_edges(graph, distances) * scale_factor
+        seconds = run.runtime()
+        times.append(seconds)
+        teps.append(edges / seconds if seconds > 0 else 0.0)
+
+    teps = np.asarray(teps)
+    return Graph500Result(
+        scale=scale,
+        num_edges=graph.num_edges // 2,
+        num_roots=len(roots),
+        harmonic_mean_teps=float(len(teps) / np.sum(1.0 / teps)),
+        min_teps=float(teps.min()),
+        median_teps=float(np.median(teps)),
+        max_teps=float(teps.max()),
+        mean_time_s=float(np.mean(times)),
+        all_valid=bool(all_valid),
+    )

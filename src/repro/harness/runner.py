@@ -1,0 +1,79 @@
+"""Experiment runner: one (algorithm, framework, dataset, nodes) cell.
+
+Wraps the registry runners with the cluster construction, paper-scale
+extrapolation factor, and failure classification: out-of-memory and
+expressibility failures are *results* in this paper (CombBLAS's Twitter
+triangle counting OOM, Galois's missing multi-node support), not crashes,
+so they come back as statuses instead of exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algorithms.registry import runner as _lookup
+from ..cluster import Cluster, paper_cluster
+from ..errors import CapacityError, ExpressibilityError, ReproError
+from ..frameworks.results import AlgorithmResult
+
+STATUS_OK = "ok"
+STATUS_OOM = "out-of-memory"
+STATUS_UNSUPPORTED = "unsupported"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one experiment cell."""
+
+    algorithm: str
+    framework: str
+    nodes: int
+    status: str
+    result: AlgorithmResult = None
+    failure: str = ""
+    config: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def runtime(self) -> float:
+        """The paper's comparison number (time/iter or total), seconds."""
+        if not self.ok:
+            raise ReproError(
+                f"{self.framework}/{self.algorithm} did not complete: "
+                f"{self.status} ({self.failure})"
+            )
+        return self.result.runtime_for_comparison()
+
+    def metrics(self):
+        return self.result.metrics if self.ok else None
+
+
+def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
+                   scale_factor: float = 1.0, enforce_memory: bool = True,
+                   **params) -> RunResult:
+    """Run one cell of the study on a fresh simulated cluster.
+
+    ``scale_factor`` is paper size / proxy size; it extrapolates the
+    counted work, traffic and memory to the paper's dataset sizes.
+    """
+    run = _lookup(algorithm, framework)
+    cluster = Cluster(paper_cluster(nodes), scale_factor=scale_factor,
+                      enforce_memory=enforce_memory)
+    config = {"nodes": nodes, "scale_factor": scale_factor, **params}
+    try:
+        result = run(dataset, cluster, **params)
+    except CapacityError as error:
+        return RunResult(algorithm, framework, nodes, STATUS_OOM,
+                         failure=str(error), config=config)
+    except ExpressibilityError as error:
+        return RunResult(algorithm, framework, nodes, STATUS_UNSUPPORTED,
+                         failure=str(error), config=config)
+    except ReproError as error:
+        if "single-node" in str(error):
+            return RunResult(algorithm, framework, nodes, STATUS_UNSUPPORTED,
+                             failure=str(error), config=config)
+        raise
+    return RunResult(algorithm, framework, nodes, STATUS_OK, result=result,
+                     config=config)

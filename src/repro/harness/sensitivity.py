@@ -1,0 +1,86 @@
+"""Hardware sensitivity analysis: where do the crossovers move?
+
+The paper's roadmap (Section 6.2) implicitly asks "how fast would the
+network have to be for framework X to stop being network bound?". This
+module answers such questions directly by sweeping the simulated
+hardware: scale the per-node link bandwidth or the memory bandwidth and
+re-run an experiment, reporting runtime as a function of the swept knob
+and the point at which the bottleneck flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+
+from ..cluster import Cluster, ClusterSpec, NodeSpec
+from ..algorithms.registry import runner as _lookup
+
+
+def _spec_with(node: NodeSpec, link_scale: float = 1.0,
+               memory_scale: float = 1.0) -> NodeSpec:
+    return dataclass_replace(
+        node,
+        link_bandwidth=node.link_bandwidth * link_scale,
+        stream_bandwidth=node.stream_bandwidth * memory_scale,
+        random_bandwidth=node.random_bandwidth * memory_scale,
+    )
+
+
+def sweep(algorithm: str, framework: str, dataset, nodes: int = 4,
+          knob: str = "link", scales=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+          scale_factor: float = 1.0, **params) -> list:
+    """Runtime vs hardware scale for one experiment cell.
+
+    ``knob`` is ``"link"`` (network bandwidth) or ``"memory"`` (DRAM
+    bandwidth). Returns a list of rows: scale, runtime, network share,
+    bound-by classification.
+    """
+    if knob not in ("link", "memory"):
+        raise ValueError(f"knob must be 'link' or 'memory', got {knob!r}")
+    run = _lookup(algorithm, framework)
+    rows = []
+    for scale in scales:
+        node = _spec_with(
+            NodeSpec(),
+            link_scale=scale if knob == "link" else 1.0,
+            memory_scale=scale if knob == "memory" else 1.0,
+        )
+        cluster = Cluster(ClusterSpec(num_nodes=nodes, node=node),
+                          scale_factor=scale_factor, enforce_memory=False)
+        result = run(dataset, cluster, **params)
+        metrics = result.metrics
+        rows.append({
+            "scale": scale,
+            "runtime_s": result.runtime_for_comparison(),
+            "network_fraction": metrics.network_fraction,
+            "bound_by": metrics.bound_by(),
+        })
+    return rows
+
+
+def crossover_scale(rows: list) -> float:
+    """First swept scale at which the bottleneck classification flips.
+
+    Returns ``nan`` if the bottleneck never changes over the sweep.
+    """
+    if not rows:
+        return float("nan")
+    first = rows[0]["bound_by"]
+    for row in rows[1:]:
+        if row["bound_by"] != first:
+            return float(row["scale"])
+    return float("nan")
+
+
+def diminishing_returns(rows: list, threshold: float = 0.05) -> float:
+    """Smallest scale beyond which further scaling gains < ``threshold``.
+
+    The deployment question: how much faster hardware is still worth
+    buying for this workload/framework pair?
+    """
+    for current, following in zip(rows, rows[1:]):
+        gain = 1.0 - following["runtime_s"] / max(current["runtime_s"],
+                                                  1e-18)
+        if gain < threshold:
+            return float(current["scale"])
+    return float(rows[-1]["scale"]) if rows else float("nan")

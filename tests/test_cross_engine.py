@@ -1,0 +1,110 @@
+"""Cross-engine equivalence: every framework computes the same answers.
+
+The paper compares framework *performance*; this suite pins the harder
+property that our re-implementations must also share *semantics* — five
+independently-written engines (native kernels, vertex programs, semiring
+algebra, Datalog, worklists) agree on every output for randomized
+inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bfs_reference,
+    pagerank_reference,
+    triangle_count_reference,
+)
+from repro.algorithms.registry import runner
+from repro.cluster import Cluster, paper_cluster
+from repro.datagen import netflix_like_ratings, rmat_graph, rmat_triangle_graph
+from repro.frameworks.native import FIGURE7_LADDER
+from repro.frameworks.results import AlgorithmResult
+
+SINGLE_NODE_FRAMEWORKS = ("native", "combblas", "graphlab", "socialite",
+                          "socialite-published", "giraph", "galois")
+MULTI_NODE_FRAMEWORKS = ("native", "combblas", "graphlab", "socialite",
+                         "giraph")
+
+
+def cluster(nodes=1):
+    return Cluster(paper_cluster(nodes), enforce_memory=False)
+
+
+@pytest.mark.parametrize("framework", SINGLE_NODE_FRAMEWORKS)
+@pytest.mark.parametrize("seed", (71, 72))
+def test_pagerank_equivalence(framework, seed):
+    graph = rmat_graph(scale=8, edge_factor=6, seed=seed)
+    result = runner("pagerank", framework)(graph, cluster(), iterations=4)
+    np.testing.assert_allclose(result.values,
+                               pagerank_reference(graph, 4), rtol=1e-9)
+
+
+@pytest.mark.parametrize("framework", MULTI_NODE_FRAMEWORKS)
+def test_pagerank_equivalence_multinode(framework):
+    graph = rmat_graph(scale=8, edge_factor=6, seed=73)
+    result = runner("pagerank", framework)(graph, cluster(4), iterations=4)
+    np.testing.assert_allclose(result.values,
+                               pagerank_reference(graph, 4), rtol=1e-9)
+
+
+@pytest.mark.parametrize("framework", SINGLE_NODE_FRAMEWORKS)
+@pytest.mark.parametrize("seed", (74, 75))
+def test_bfs_equivalence(framework, seed):
+    graph = rmat_graph(scale=8, edge_factor=6, seed=seed, directed=False)
+    source = int(np.argmax(graph.out_degrees()))
+    result = runner("bfs", framework)(graph, cluster(), source=source)
+    np.testing.assert_array_equal(result.values,
+                                  bfs_reference(graph, source))
+
+
+@pytest.mark.parametrize("framework", SINGLE_NODE_FRAMEWORKS)
+def test_triangle_equivalence(framework, seed=76):
+    graph = rmat_triangle_graph(scale=8, edge_factor=6, seed=seed)
+    result = runner("triangle_counting", framework)(graph, cluster())
+    assert result.values == triangle_count_reference(graph)
+
+
+@pytest.mark.parametrize("framework", MULTI_NODE_FRAMEWORKS)
+def test_triangle_equivalence_multinode(framework):
+    graph = rmat_triangle_graph(scale=8, edge_factor=6, seed=77)
+    result = runner("triangle_counting", framework)(graph, cluster(4))
+    assert result.values == triangle_count_reference(graph)
+
+
+@pytest.mark.parametrize("framework", SINGLE_NODE_FRAMEWORKS)
+def test_cf_learns(framework):
+    ratings = netflix_like_ratings(scale=9, num_items=48, seed=78)
+    result = runner("collaborative_filtering", framework)(
+        ratings, cluster(), hidden_dim=8, iterations=3
+    )
+    curve = result.extras["rmse_curve"]
+    assert curve[-1] < curve[0]
+    p_factors, q_factors = result.values
+    assert p_factors.shape == (ratings.num_users, 8)
+    assert q_factors.shape == (ratings.num_items, 8)
+
+
+def test_native_options_do_not_change_results():
+    """Figure 7 toggles change time, never answers."""
+    graph = rmat_graph(scale=8, edge_factor=6, seed=79, directed=False)
+    source = int(np.argmax(graph.out_degrees()))
+    reference = None
+    for _label, options in FIGURE7_LADDER:
+        result = runner("bfs", "native")(graph, cluster(2), source=source,
+                                         options=options)
+        if reference is None:
+            reference = result.values
+        np.testing.assert_array_equal(result.values, reference)
+
+
+class TestAlgorithmResult:
+    def test_runtime_for_comparison_policy(self):
+        from repro.cluster import RunMetrics
+
+        metrics = RunMetrics(num_nodes=1, total_time_s=10.0,
+                             iteration_times=[2.0, 3.0])
+        per_iter = AlgorithmResult("pagerank", "native", None, 2, metrics)
+        total = AlgorithmResult("bfs", "native", None, 2, metrics)
+        assert per_iter.runtime_for_comparison() == pytest.approx(2.5)
+        assert total.runtime_for_comparison() == 10.0

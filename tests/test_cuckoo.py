@@ -1,0 +1,84 @@
+"""Tests for the cuckoo hash set (GraphLab's triangle-count structure)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CuckooHashSet
+
+
+class TestBasics:
+    def test_empty(self):
+        table = CuckooHashSet()
+        assert len(table) == 0
+        assert 5 not in table
+
+    def test_add_and_contains(self):
+        table = CuckooHashSet()
+        assert table.add(42)
+        assert 42 in table
+        assert len(table) == 1
+
+    def test_duplicate_add_returns_false(self):
+        table = CuckooHashSet()
+        assert table.add(7)
+        assert not table.add(7)
+        assert len(table) == 1
+
+    def test_negative_key_rejected(self):
+        table = CuckooHashSet()
+        with pytest.raises(ValueError):
+            table.add(-1)
+        with pytest.raises(ValueError):
+            -1 in table  # noqa: B015 — membership raising is the assertion
+
+    def test_from_iterable(self):
+        table = CuckooHashSet.from_iterable([1, 2, 3, 2, 1])
+        assert len(table) == 3
+        assert sorted(table) == [1, 2, 3]
+
+    def test_grow_preserves_contents(self):
+        table = CuckooHashSet(capacity_hint=4)
+        keys = list(range(0, 5000, 7))
+        for key in keys:
+            table.add(key)
+        assert len(table) == len(keys)
+        assert all(key in table for key in keys)
+        assert 1 not in table
+
+    def test_intersect_count(self):
+        table = CuckooHashSet.from_iterable([1, 5, 9, 13])
+        assert table.intersect_count([5, 9, 100]) == 2
+        assert table.intersect_count([]) == 0
+
+    def test_contains_many_validates(self):
+        table = CuckooHashSet.from_iterable([1])
+        with pytest.raises(ValueError):
+            table.contains_many([-3])
+
+    def test_nbytes_positive(self):
+        assert CuckooHashSet().nbytes() > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=200))
+def test_matches_python_set(keys):
+    table = CuckooHashSet.from_iterable(keys)
+    model = set(keys)
+    assert len(table) == len(model)
+    assert sorted(table) == sorted(model)
+    for key in list(model)[:20]:
+        assert key in table
+    for probe in [0, 1, 999999999, 12345]:
+        assert (probe in table) == (probe in model)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=5000), max_size=100),
+    st.lists(st.integers(min_value=0, max_value=5000), max_size=100),
+)
+def test_intersection_matches_set(members, probes):
+    table = CuckooHashSet.from_iterable(members)
+    expected = sum(1 for p in probes if p in members)
+    assert table.intersect_count(probes) == expected

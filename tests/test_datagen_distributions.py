@@ -1,0 +1,90 @@
+"""Distributional tests for the generators and the dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    CATALOG,
+    GRAPH500_PARAMS,
+    RATINGS_PARAMS,
+    TRIANGLE_PARAMS,
+    RMATParams,
+    dataset,
+    netflix_like_ratings,
+    rmat_edges,
+)
+from repro.datagen.ratings import _NETFLIX_STAR_PROBS, _NETFLIX_STARS
+from repro.graph import fit_power_law, gini_coefficient
+
+
+class TestParameterSets:
+    def test_the_three_paper_parameter_sets(self):
+        # Section 4.1.2 names all three explicitly.
+        assert GRAPH500_PARAMS == (0.57, 0.19, 0.19)
+        assert TRIANGLE_PARAMS == (0.45, 0.15, 0.15)
+        assert RATINGS_PARAMS == (0.40, 0.22, 0.22)
+
+    def test_triangle_params_less_skewed(self):
+        # Lower A concentrates fewer edges on hub vertices.
+        default = rmat_edges(12, 16, RMATParams(*GRAPH500_PARAMS), seed=5)
+        reduced = rmat_edges(12, 16, RMATParams(*TRIANGLE_PARAMS), seed=5)
+        assert gini_coefficient(reduced.out_degrees()) < \
+            gini_coefficient(default.out_degrees())
+
+    def test_power_law_exponent_band(self):
+        edges = rmat_edges(13, 16, seed=6)
+        degrees = edges.out_degrees() + edges.in_degrees()
+        fit = fit_power_law(degrees)
+        # Social-graph territory.
+        assert 1.3 < fit.alpha < 4.5
+
+
+class TestStarDistribution:
+    def test_probabilities_sum_to_one(self):
+        assert _NETFLIX_STAR_PROBS.sum() == pytest.approx(1.0)
+
+    def test_sampled_marginal_matches(self):
+        ratings = netflix_like_ratings(scale=12, num_items=128, seed=7)
+        observed = np.array([
+            float((ratings.ratings == star).mean()) for star in _NETFLIX_STARS
+        ])
+        np.testing.assert_allclose(observed, _NETFLIX_STAR_PROBS, atol=0.02)
+
+    def test_mean_rating_near_netflix(self):
+        # The Netflix training set averages ~3.6 stars.
+        ratings = netflix_like_ratings(scale=12, num_items=128, seed=8)
+        assert 3.4 < ratings.ratings.mean() < 3.8
+
+
+class TestCatalogFidelity:
+    @pytest.mark.parametrize("name,paper_ratio", [
+        ("facebook", 41_919_708 / 2_937_612),
+        ("wikipedia", 84_751_827 / 3_566_908),
+        ("livejournal", 85_702_475 / 4_847_571),
+        ("twitter", 1_468_365_182 / 61_578_415),
+    ])
+    def test_proxy_average_degree_tracks_paper(self, name, paper_ratio):
+        graph = dataset(name)
+        proxy_ratio = graph.num_edges / graph.num_vertices
+        # Dedup losses pull the proxy below the configured edge factor;
+        # the ratio must still be within 2x of the real dataset's.
+        assert paper_ratio / 2 < proxy_ratio < paper_ratio * 2
+
+    def test_all_graph_proxies_are_skewed(self):
+        for name, spec in CATALOG.items():
+            if spec.kind != "graph" or name.startswith("rmat_mini"):
+                continue
+            graph = spec.build()
+            assert gini_coefficient(graph.out_degrees()) > 0.3, name
+
+    def test_paper_edge_counts_are_verbatim(self):
+        # Spot checks against Table 3 of the paper.
+        assert CATALOG["facebook"].paper_edges == 41_919_708
+        assert CATALOG["yahoo_music"].paper_edges == 252_800_275
+        assert CATALOG["synthetic_collaborative"].paper_edges == \
+            16_742_847_256
+
+    def test_seeds_are_distinct(self):
+        # Two different datasets must not alias to the same graph.
+        a, b = dataset("facebook"), dataset("wikipedia")
+        assert a.num_edges != b.num_edges

@@ -1,0 +1,43 @@
+"""Smoke tests: the fast example scripts must run clean end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: The examples quick enough for the unit suite; the longer sweeps
+#: (shootout, weak_scaling, paper_tour, bottleneck_analysis) are
+#: exercised by the benchmark suite's equivalent regenerations.
+FAST_EXAMPLES = ("quickstart.py", "custom_vertex_program.py",
+                 "network_tuning.py")
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_quickstart_output_contains_verdict():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert "identical PageRank vectors" in result.stdout
+    assert "slower than native" in result.stdout
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith('"""'), script.name
+        assert "__main__" in text, script.name

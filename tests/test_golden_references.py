@@ -1,0 +1,126 @@
+"""Tests for the golden reference algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    UNREACHED,
+    bfs_reference,
+    pagerank_matrix_form,
+    pagerank_reference,
+    per_vertex_triangles,
+    regularized_loss,
+    rmse,
+    triangle_count_reference,
+    validate_distances,
+)
+from repro.datagen import rmat_graph, rmat_triangle_graph
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph, EdgeList, RatingsMatrix
+
+
+def paper_figure2_graph():
+    return CSRGraph.from_edges(
+        EdgeList.from_pairs(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    )
+
+
+class TestPageRankReference:
+    def test_one_iteration_by_hand(self):
+        # Figure 2 graph, all ranks 1, r=0.3:
+        # PR(0)=0.3; PR(1)=0.3+0.7*(1/2)=0.65;
+        # PR(2)=0.3+0.7*(1/2+1/2)=1.0; PR(3)=0.3+0.7*(1/2+1/1)=1.35.
+        ranks = pagerank_reference(paper_figure2_graph(), iterations=1)
+        np.testing.assert_allclose(ranks, [0.3, 0.65, 1.0, 1.35])
+
+    def test_matches_matrix_form(self):
+        graph = rmat_graph(scale=7, edge_factor=6, seed=11)
+        fast = pagerank_reference(graph, iterations=8)
+        dense = pagerank_matrix_form(graph, iterations=8)
+        np.testing.assert_allclose(fast, dense, rtol=1e-10)
+
+    def test_zero_iterations_is_initial(self):
+        ranks = pagerank_reference(paper_figure2_graph(), iterations=0)
+        np.testing.assert_array_equal(ranks, np.ones(4))
+
+    def test_dangling_vertices_contribute_nothing(self):
+        graph = CSRGraph.from_edges(EdgeList.from_pairs(3, [(0, 1)]))
+        ranks = pagerank_reference(graph, iterations=1)
+        # Vertex 2 is isolated: rank = r.
+        assert ranks[2] == pytest.approx(0.3)
+
+    def test_matrix_form_rejects_large(self):
+        with pytest.raises(ValueError):
+            pagerank_matrix_form(rmat_graph(scale=13, edge_factor=2))
+
+
+class TestBFSReference:
+    def test_line_graph(self):
+        graph = CSRGraph.from_edges(
+            EdgeList.from_pairs(4, [(0, 1), (1, 2), (2, 3)]).symmetrize()
+        )
+        np.testing.assert_array_equal(bfs_reference(graph, 0), [0, 1, 2, 3])
+
+    def test_unreachable(self):
+        graph = CSRGraph.from_edges(EdgeList.from_pairs(3, [(0, 1), (1, 0)]))
+        distances = bfs_reference(graph, 0)
+        assert distances[2] == UNREACHED
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            bfs_reference(paper_figure2_graph(), source=10)
+
+    def test_validate_distances_accepts_reference(self):
+        graph = rmat_graph(scale=8, edge_factor=6, seed=3, directed=False)
+        source = int(np.argmax(graph.out_degrees()))
+        distances = bfs_reference(graph, source)
+        assert validate_distances(graph, source, distances)
+
+    def test_validate_distances_rejects_corruption(self):
+        graph = rmat_graph(scale=8, edge_factor=6, seed=3, directed=False)
+        source = int(np.argmax(graph.out_degrees()))
+        distances = bfs_reference(graph, source).copy()
+        reached = np.nonzero((distances > 0) & (distances != UNREACHED))[0]
+        distances[reached[0]] += 5
+        assert not validate_distances(graph, source, distances)
+
+
+class TestTriangleReference:
+    def test_known_counts(self):
+        # K4 has 4 triangles.
+        pairs = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        graph = CSRGraph.from_edges(EdgeList.from_pairs(4, pairs))
+        assert triangle_count_reference(graph) == 4
+
+    def test_triangle_free(self):
+        graph = CSRGraph.from_edges(
+            EdgeList.from_pairs(6, [(0, 3), (1, 4), (2, 5)])
+        )
+        assert triangle_count_reference(graph) == 0
+
+    def test_requires_orientation(self):
+        graph = CSRGraph.from_edges(
+            EdgeList.from_pairs(3, [(0, 1), (1, 0), (1, 2), (0, 2)])
+        )
+        with pytest.raises(GraphFormatError):
+            triangle_count_reference(graph)
+
+    def test_per_vertex_sums_to_total(self):
+        graph = rmat_triangle_graph(scale=8, edge_factor=6, seed=4)
+        assert per_vertex_triangles(graph).sum() == \
+            triangle_count_reference(graph)
+
+
+class TestCFOracles:
+    def test_perfect_factors_zero_rmse(self):
+        p = np.array([[1.0, 0.0], [0.0, 1.0]])
+        q = np.array([[2.0, 0.0], [0.0, 3.0]])
+        ratings = RatingsMatrix(2, 2, [0, 1], [0, 1], [2.0, 3.0])
+        assert rmse(ratings, p, q) == pytest.approx(0.0)
+
+    def test_loss_includes_regularization(self):
+        p = np.ones((1, 2))
+        q = np.ones((1, 2))
+        ratings = RatingsMatrix(1, 1, [0], [0], [2.0])
+        # residual 0; reg = 0.05*2 + 0.05*2 = 0.2
+        assert regularized_loss(ratings, p, q) == pytest.approx(0.2)

@@ -1,0 +1,225 @@
+"""Tests for the sparse-matrix semiring engine and CombBLAS front-end."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    UNREACHED,
+    bfs_reference,
+    pagerank_reference,
+    triangle_count_reference,
+)
+from repro.cluster import Cluster, paper_cluster
+from repro.datagen import netflix_like_ratings, rmat_graph, rmat_triangle_graph
+from repro.errors import CapacityError
+from repro.frameworks.matrix import (
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    DistSpMat,
+    ProcessGrid,
+    combblas,
+    semiring_spmv,
+)
+from repro.graph import CSRGraph, EdgeList
+
+
+def paper_figure2_graph():
+    return CSRGraph.from_edges(
+        EdgeList.from_pairs(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    )
+
+
+@pytest.fixture(scope="module")
+def graph_small():
+    return rmat_graph(scale=9, edge_factor=6, seed=31)
+
+
+@pytest.fixture(scope="module")
+def graph_small_undirected():
+    return rmat_graph(scale=9, edge_factor=6, seed=31, directed=False)
+
+
+@pytest.fixture(scope="module")
+def graph_triangles():
+    return rmat_triangle_graph(scale=8, edge_factor=6, seed=32)
+
+
+def make_cluster(nodes=1, **kwargs):
+    return Cluster(paper_cluster(nodes), **kwargs)
+
+
+class TestSemirings:
+    def test_plus_times_is_matvec(self):
+        graph = paper_figure2_graph()
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        # y = A^T x: y[1] = x[0]; y[2] = x[0] + x[1]; y[3] = x[1] + x[2].
+        y = semiring_spmv(graph, x, PLUS_TIMES)
+        np.testing.assert_allclose(y, [0.0, 1.0, 3.0, 5.0])
+
+    def test_or_and_traversal_matches_paper_equation_10(self):
+        # Paper: starting from {0, 1}, A^T s = [0, 1, 2, 1] -> nonzeros
+        # are the next frontier {1, 2, 3}.
+        graph = paper_figure2_graph()
+        s = np.array([1.0, 1.0, 0.0, 0.0])
+        y = semiring_spmv(graph, s, PLUS_TIMES)
+        np.testing.assert_allclose(y, [0.0, 1.0, 2.0, 1.0])
+        reachable = semiring_spmv(graph, s, OR_AND)
+        np.testing.assert_allclose(reachable, [0.0, 1.0, 1.0, 1.0])
+
+    def test_min_plus_relaxation(self):
+        graph = paper_figure2_graph()
+        x = np.array([0.0, np.inf, np.inf, np.inf])
+        y = semiring_spmv(graph, x, MIN_PLUS,
+                          edge_values=np.ones(graph.num_edges))
+        # Vertex 1 and 2 get 0 + 1; vertex 3 unreachable in one hop from 0.
+        assert y[1] == 1.0 and y[2] == 1.0
+        assert np.isinf(y[0]) and np.isinf(y[3])
+
+    def test_shape_validation(self):
+        graph = paper_figure2_graph()
+        with pytest.raises(ValueError):
+            semiring_spmv(graph, np.ones(3))
+        with pytest.raises(ValueError):
+            semiring_spmv(graph, np.ones(4), edge_values=np.ones(2))
+
+
+class TestProcessGrid:
+    def test_square_grid_for_square_nodes(self):
+        grid = ProcessGrid(4)  # 144 procs -> 12x12
+        assert grid.grid == 12
+        assert grid.num_procs == 144
+
+    def test_nonsquare_nodes_largest_square(self):
+        grid = ProcessGrid(2)  # 72 procs -> 8x8 = 64 used
+        assert grid.grid == 8
+
+    def test_rank_to_node_covers_all_nodes(self):
+        grid = ProcessGrid(4)
+        owners = grid.node_of_rank(np.arange(grid.num_procs))
+        assert set(owners.tolist()) == {0, 1, 2, 3}
+
+    def test_aggregate_to_nodes_conserves_bytes(self):
+        grid = ProcessGrid(2)
+        rng = np.random.default_rng(0)
+        proc = rng.random((grid.num_procs, grid.num_procs))
+        nodes = grid.aggregate_to_nodes(proc)
+        assert nodes.sum() == pytest.approx(proc.sum())
+
+
+class TestDistSpMat:
+    def test_block_nnz_conserved(self, graph_small):
+        dist = DistSpMat(graph_small, ProcessGrid(4))
+        assert dist.block_nnz.sum() == graph_small.num_edges
+        assert dist.nnz_per_node().sum() == pytest.approx(graph_small.num_edges)
+
+    def test_spmv_values_match_semiring(self, graph_small):
+        dist = DistSpMat(graph_small, ProcessGrid(2))
+        x = np.arange(graph_small.num_vertices, dtype=float)
+        y, flops, traffic = dist.spmv(x)
+        np.testing.assert_allclose(y, semiring_spmv(graph_small, x))
+        assert flops == 2.0 * graph_small.num_edges
+        assert traffic.shape == (2, 2)
+
+    def test_sparse_spmv_cheaper(self, graph_small):
+        dist = DistSpMat(graph_small, ProcessGrid(4))
+        dense = np.ones(graph_small.num_vertices)
+        sparse_x = np.zeros(graph_small.num_vertices)
+        sparse_x[0] = 1.0
+        _, flops_dense, traffic_dense = dist.spmv(dense)
+        _, flops_sparse, traffic_sparse = dist.spmv(sparse_x, OR_AND,
+                                                    sparse_x=True)
+        assert flops_sparse < flops_dense
+        assert traffic_sparse.sum() < traffic_dense.sum()
+
+    def test_spgemm_counts_paths(self):
+        graph = paper_figure2_graph()
+        dist = DistSpMat(graph, ProcessGrid(1))
+        product, flops, traffic = dist.spgemm_aa()
+        # Paper: A^2 row 0 = [0, 0, 1, 2].
+        dense = np.asarray(product.todense())
+        np.testing.assert_allclose(dense[0], [0, 0, 1, 2])
+        count, _ = dist.ewise_mult_sum(product)
+        assert count == 2  # nnz-weighted A .* A^2 of Figure 2
+
+    def test_single_node_spgemm_no_wire_traffic(self, graph_triangles):
+        dist = DistSpMat(graph_triangles, ProcessGrid(1))
+        _, _, traffic = dist.spgemm_aa()
+        assert traffic.sum() - np.trace(traffic) >= 0  # diagonal only
+        off = traffic.sum() - np.trace(traffic)
+        assert off == 0
+
+
+class TestCombBLAS:
+    def test_pagerank_matches_reference(self, graph_small):
+        result = combblas.pagerank(graph_small, make_cluster(4), iterations=4)
+        np.testing.assert_allclose(
+            result.values, pagerank_reference(graph_small, 4), rtol=1e-12
+        )
+
+    def test_bfs_matches_reference(self, graph_small_undirected):
+        result = combblas.bfs(graph_small_undirected, make_cluster(4))
+        np.testing.assert_array_equal(
+            result.values, bfs_reference(graph_small_undirected, 0)
+        )
+
+    def test_bfs_unreached(self):
+        graph = CSRGraph.from_edges(EdgeList.from_pairs(3, [(0, 1), (1, 0)]))
+        result = combblas.bfs(graph, make_cluster(1))
+        assert result.values[2] == UNREACHED
+
+    def test_triangles_match_reference(self, graph_triangles):
+        result = combblas.triangle_count(graph_triangles, make_cluster(4))
+        assert result.values == triangle_count_reference(graph_triangles)
+
+    def test_triangle_oom_on_large_scale_factor(self, graph_triangles):
+        # The A^2 product at paper-scale extrapolation exceeds node DRAM:
+        # the paper's "ran out of memory for the Twitter data set".
+        cluster = Cluster(paper_cluster(4), scale_factor=10_000_000.0)
+        with pytest.raises(CapacityError):
+            combblas.triangle_count(graph_triangles, cluster)
+
+    def test_triangle_expressibility_penalty(self, graph_triangles):
+        # The unfused A^2 materialization makes CombBLAS far slower than
+        # the native intersection kernel (Table 5: 33.9x single node).
+        from repro.frameworks import native
+        scale = {"scale_factor": 1e5}
+        native_result = native.triangle_count(
+            graph_triangles, Cluster(paper_cluster(1), **scale)
+        )
+        comb_result = combblas.triangle_count(
+            graph_triangles, Cluster(paper_cluster(1), **scale)
+        )
+        assert comb_result.total_time_s > 2.5 * native_result.total_time_s
+
+    def test_cf_converges(self):
+        ratings = netflix_like_ratings(scale=9, num_items=48, seed=33)
+        result = combblas.collaborative_filtering(
+            ratings, make_cluster(4), hidden_dim=8, iterations=3
+        )
+        curve = result.extras["rmse_curve"]
+        assert curve[-1] < curve[0]
+        assert result.extras["spmvs_per_iteration"] == 8
+
+    def test_pagerank_close_to_native(self, graph_small):
+        # Table 5: CombBLAS PageRank ~1.9x native on one node. Run at a
+        # paper-scale extrapolation factor so fixed per-superstep costs
+        # do not swamp the proxy-sized compute.
+        from repro.frameworks import native
+        native_result = native.pagerank(
+            graph_small, Cluster(paper_cluster(1), scale_factor=1e5),
+            iterations=3,
+        )
+        comb_result = combblas.pagerank(
+            graph_small, Cluster(paper_cluster(1), scale_factor=1e5),
+            iterations=3,
+        )
+        ratio = (comb_result.time_per_iteration_s
+                 / native_result.time_per_iteration_s)
+        assert 1.0 < ratio < 8.0
+
+    def test_validates_arguments(self, graph_small):
+        with pytest.raises(ValueError):
+            combblas.pagerank(graph_small, make_cluster(1), iterations=0)
+        with pytest.raises(ValueError):
+            combblas.bfs(graph_small, make_cluster(1), source=-2)

@@ -1,0 +1,144 @@
+"""Tests for partitioning schemes (Table 2 / Section 6.1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.graph import (
+    CSRGraph,
+    EdgeList,
+    partition_2d,
+    partition_edges_1d,
+    partition_vertex_cut,
+    partition_vertices_1d,
+)
+
+
+def star_graph(hub_degree=200, num_parts=4):
+    """One hub connected to everyone — the pathological 1-D case."""
+    n = hub_degree + 1
+    pairs = [(0, i) for i in range(1, n)]
+    return CSRGraph.from_edges(EdgeList.from_pairs(n, pairs))
+
+
+class TestVertex1D:
+    def test_covers_all_vertices(self):
+        part = partition_vertices_1d(100, 4)
+        assert part.num_parts == 4
+        assert part.part_sizes().sum() == 100
+        assert part.owner(0) == 0
+        assert part.owner(99) == 3
+
+    def test_balanced_by_vertices(self):
+        part = partition_vertices_1d(100, 4)
+        np.testing.assert_array_equal(part.part_sizes(), [25, 25, 25, 25])
+
+    def test_more_parts_than_vertices(self):
+        part = partition_vertices_1d(2, 4)
+        assert part.part_sizes().sum() == 2
+
+    def test_owner_of_many_matches_owner(self):
+        part = partition_vertices_1d(50, 3)
+        vertices = np.arange(50)
+        owners = part.owner_of_many(vertices)
+        assert all(owners[v] == part.owner(v) for v in vertices)
+
+    def test_invalid_parts(self):
+        with pytest.raises(PartitionError):
+            partition_vertices_1d(10, 0)
+
+
+class TestEdgeBalanced1D:
+    def test_balances_edges_not_vertices(self):
+        # Vertex 0 has 60 edges, the rest have ~1: an equal-vertex split
+        # puts almost everything on part 0; the edge-balanced split must not.
+        pairs = [(0, i) for i in range(1, 61)]
+        pairs += [(i, i + 1) for i in range(61, 119)]
+        graph = CSRGraph.from_edges(EdgeList.from_pairs(120, pairs))
+        part = partition_edges_1d(graph, 2)
+        lo, hi = part.part_range(0)
+        edges_part0 = int(graph.offsets[hi] - graph.offsets[lo])
+        assert abs(edges_part0 - graph.num_edges / 2) <= 60  # hub is atomic
+
+    def test_covers_vertices(self):
+        graph = star_graph()
+        part = partition_edges_1d(graph, 4)
+        assert part.bounds[0] == 0
+        assert part.bounds[-1] == graph.num_vertices
+
+    def test_single_part(self):
+        graph = star_graph()
+        part = partition_edges_1d(graph, 1)
+        assert part.num_parts == 1
+        assert part.part_range(0) == (0, graph.num_vertices)
+
+
+class TestPartition2D:
+    def test_requires_square(self):
+        with pytest.raises(PartitionError):
+            partition_2d(100, 3)
+
+    def test_grid_assignment(self):
+        part = partition_2d(100, 4)
+        assert part.grid == 2
+        # src in [0,50), dst in [50,100) -> row 0, col 1 -> part 1.
+        assert part.part_of(10, 75) == 1
+        assert part.part_of(75, 10) == 2
+        assert part.row_of_part(3) == 1 and part.col_of_part(3) == 1
+
+    def test_all_edges_assigned_in_range(self):
+        part = partition_2d(64, 16)
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 64, size=500)
+        dst = rng.integers(0, 64, size=500)
+        parts = part.part_of(src, dst)
+        assert parts.min() >= 0 and parts.max() < 16
+
+
+class TestVertexCut:
+    def test_edges_fully_assigned(self):
+        graph = star_graph()
+        cut = partition_vertex_cut(graph, 4)
+        assert cut.edge_part.size == graph.num_edges
+        assert cut.edges_per_part().sum() == graph.num_edges
+
+    def test_hub_is_replicated(self):
+        graph = star_graph(hub_degree=400)
+        cut = partition_vertex_cut(graph, 4)
+        # The hub must appear on more than one part; leaves should not.
+        assert cut.mirror_counts[0] > 1
+        assert cut.replication_factor() >= 1.0
+
+    def test_hub_load_balance_beats_1d(self):
+        graph = star_graph(hub_degree=400)
+        cut = partition_vertex_cut(graph, 4)
+        per_part = cut.edges_per_part()
+        # 1-D vertex partitioning puts 100% of edges on the hub's part;
+        # a vertex cut must spread them.
+        assert per_part.max() < graph.num_edges
+
+    def test_masters_in_range(self):
+        graph = star_graph()
+        cut = partition_vertex_cut(graph, 3)
+        assert cut.masters.min() >= 0 and cut.masters.max() < 3
+
+    def test_invalid_parts(self):
+        with pytest.raises(PartitionError):
+            partition_vertex_cut(star_graph(), 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=1, max_value=8),
+)
+def test_vertex_1d_partition_is_total_and_disjoint(num_vertices, num_parts):
+    part = partition_vertices_1d(num_vertices, num_parts)
+    owners = part.owner_of_many(np.arange(num_vertices))
+    assert owners.min() >= 0 and owners.max() < num_parts
+    sizes = np.bincount(owners, minlength=num_parts)
+    np.testing.assert_array_equal(sizes, part.part_sizes())
+    # Balance: no part exceeds ceil(n / p) vertices.
+    assert sizes.max() <= -(-num_vertices // num_parts) + 1

@@ -1,0 +1,110 @@
+"""Tests for the RMAT generator (paper Section 4.1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import (
+    RMATParams,
+    rmat_edges,
+    rmat_graph,
+    rmat_triangle_graph,
+)
+from repro.graph import count_triangles_exact, fit_power_law, gini_coefficient
+
+
+class TestParams:
+    def test_default_is_graph500(self):
+        params = RMATParams()
+        assert (params.a, params.b, params.c) == (0.57, 0.19, 0.19)
+        assert abs(params.d - 0.05) < 1e-12
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            RMATParams(a=-0.1)
+        with pytest.raises(ValueError):
+            RMATParams(a=0.5, b=0.3, c=0.3)
+
+
+class TestRawEdges:
+    def test_sizes(self):
+        edges = rmat_edges(scale=8, edge_factor=4, seed=0)
+        assert edges.num_vertices == 256
+        assert edges.num_edges == 1024
+
+    def test_deterministic_given_seed(self):
+        a = rmat_edges(scale=8, edge_factor=4, seed=42)
+        b = rmat_edges(scale=8, edge_factor=4, seed=42)
+        np.testing.assert_array_equal(a.pairs(), b.pairs())
+
+    def test_seeds_differ(self):
+        a = rmat_edges(scale=8, edge_factor=4, seed=1)
+        b = rmat_edges(scale=8, edge_factor=4, seed=2)
+        assert not np.array_equal(a.pairs(), b.pairs())
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            rmat_edges(scale=0)
+        with pytest.raises(ValueError):
+            rmat_edges(scale=4, edge_factor=0)
+
+    def test_degree_distribution_is_skewed(self):
+        # "Real-world graph data follows a pattern of sparsity that is
+        # not uniform but highly skewed" — RMAT must reproduce that.
+        edges = rmat_edges(scale=12, edge_factor=16, seed=3)
+        degrees = edges.out_degrees() + edges.in_degrees()
+        assert gini_coefficient(degrees) > 0.35
+        fit = fit_power_law(degrees)
+        assert 1.3 < fit.alpha < 4.0
+
+    def test_skew_exceeds_uniform_graph(self):
+        rng = np.random.default_rng(0)
+        n, e = 1 << 12, 16 << 12
+        uniform_degrees = np.bincount(rng.integers(0, n, e), minlength=n)
+        rmat_degrees = rmat_edges(scale=12, edge_factor=16, seed=3).out_degrees()
+        assert gini_coefficient(rmat_degrees) > 2 * gini_coefficient(uniform_degrees)
+
+
+class TestGraphs:
+    def test_directed_graph_clean(self):
+        graph = rmat_graph(scale=9, edge_factor=8, seed=5)
+        src = graph.sources()
+        assert not np.any(src == graph.targets)  # no self loops
+        # No duplicate edges: each (src, target) pair unique.
+        keys = src * graph.num_vertices + graph.targets
+        assert np.unique(keys).size == keys.size
+
+    def test_undirected_graph_symmetric(self):
+        graph = rmat_graph(scale=8, edge_factor=8, seed=6, directed=False)
+        pairs = set(zip(graph.sources().tolist(), graph.targets.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_triangle_graph_oriented_acyclic(self):
+        graph = rmat_triangle_graph(scale=8, edge_factor=8, seed=7)
+        src = graph.sources()
+        assert np.all(src < graph.targets)
+
+    def test_triangle_params_reduce_triangles(self):
+        # The paper switches to A=0.45, B=C=0.15 "to reduce the number of
+        # triangles in the graph".
+        dense = rmat_edges(scale=9, edge_factor=12, seed=8)  # Graph500 params
+        from repro.graph import CSRGraph
+        t_default = count_triangles_exact(CSRGraph.from_edges(dense.orient_by_id()))
+        t_reduced = count_triangles_exact(rmat_triangle_graph(9, 12, seed=8))
+        assert t_reduced < t_default
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=9),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_edges_always_in_range(scale, edge_factor, seed):
+    edges = rmat_edges(scale, edge_factor, seed=seed)
+    n = 1 << scale
+    assert edges.num_vertices == n
+    assert edges.src.min() >= 0 and edges.src.max() < n
+    assert edges.dst.min() >= 0 and edges.dst.max() < n
+    assert edges.num_edges == edge_factor * n

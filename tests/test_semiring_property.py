@@ -1,0 +1,114 @@
+"""Property tests: semiring SpMV vs dense oracles; Datalog vs brute force."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frameworks.datalog import (
+    AggregateTable,
+    Atom,
+    Head,
+    Rule,
+    SocialiteEngine,
+    TupleTable,
+    Var,
+)
+from repro.frameworks.matrix import MIN_PLUS, OR_AND, PLUS_TIMES, semiring_spmv
+from repro.graph import CSRGraph, EdgeList
+
+from .test_edgelist import edges_strategy
+
+
+def dense_adjacency(graph):
+    n = graph.num_vertices
+    adjacency = np.zeros((n, n))
+    adjacency[graph.sources(), graph.targets] = 1.0
+    return adjacency
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges_strategy(max_vertices=12, max_edges=40))
+def test_plus_times_matches_dense(data):
+    n, pairs = data
+    graph = CSRGraph.from_edges(EdgeList.from_pairs(n, pairs).deduplicate())
+    x = np.arange(1.0, n + 1.0)
+    expected = dense_adjacency(graph).T @ x
+    np.testing.assert_allclose(semiring_spmv(graph, x, PLUS_TIMES), expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges_strategy(max_vertices=12, max_edges=40))
+def test_or_and_matches_reachability(data):
+    n, pairs = data
+    graph = CSRGraph.from_edges(EdgeList.from_pairs(n, pairs).deduplicate())
+    x = np.zeros(n)
+    x[: max(n // 2, 1)] = 1.0
+    adjacency = dense_adjacency(graph)
+    expected = ((adjacency.T @ x) > 0).astype(float)
+    np.testing.assert_allclose(semiring_spmv(graph, x, OR_AND), expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges_strategy(max_vertices=10, max_edges=30))
+def test_min_plus_single_relaxation(data):
+    n, pairs = data
+    graph = CSRGraph.from_edges(EdgeList.from_pairs(n, pairs).deduplicate())
+    x = np.full(n, np.inf)
+    x[0] = 0.0
+    result = semiring_spmv(graph, x, MIN_PLUS)
+    # Expected: 1 for out-neighbors of vertex 0, inf elsewhere.
+    expected = np.full(n, np.inf)
+    for v in graph.neighbors(0):
+        expected[int(v)] = 1.0
+    np.testing.assert_allclose(result, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges_strategy(max_vertices=10, max_edges=25))
+def test_datalog_two_hop_matches_brute_force(data):
+    """two_hop(z, $SUM(1)) :- edge(x, y), edge(y, z) counts 2-paths."""
+    n, pairs = data
+    edges = EdgeList.from_pairs(n, pairs).deduplicate()
+    engine = SocialiteEngine(num_shards=1, vertex_universe=n)
+    engine.add(TupleTable("edge", [edges.src, edges.dst], key_universe=n,
+                          tail_nested=True))
+    two_hop = AggregateTable("two_hop", n, "sum")
+    engine.add(two_hop)
+
+    x, y, z = Var("x"), Var("y"), Var("z")
+    rule = Rule(head=Head("two_hop", z, 1.0, agg="sum"),
+                body=[Atom("edge", x, y), Atom("edge", y, z)])
+    engine.evaluate(rule)
+
+    expected = np.zeros(n)
+    pair_set = set(map(tuple, edges.pairs()))
+    for (a, b) in pair_set:
+        for (c, d) in pair_set:
+            if b == c:
+                expected[d] += 1
+    np.testing.assert_allclose(two_hop.values, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges_strategy(max_vertices=10, max_edges=25),
+       st.integers(min_value=1, max_value=4))
+def test_datalog_sharding_does_not_change_results(data, shards):
+    """Rule results are shard-count invariant (only traffic changes)."""
+    n, pairs = data
+    edges = EdgeList.from_pairs(n, pairs).deduplicate()
+    results = []
+    for num_shards in (1, shards):
+        engine = SocialiteEngine(num_shards=num_shards, vertex_universe=n)
+        engine.add(TupleTable("edge", [edges.src, edges.dst], num_shards,
+                              key_universe=n, tail_nested=True))
+        seed = AggregateTable("seed", n, "sum", num_shards)
+        seed.combine(np.arange(n), np.ones(n))
+        engine.add(seed)
+        out = AggregateTable("out", n, "sum", num_shards)
+        engine.add(out)
+        s, t, v = Var("s"), Var("t"), Var("v")
+        rule = Rule(head=Head("out", t, 1.0, agg="sum"),
+                    body=[Atom("seed", s, v), Atom("edge", s, t)])
+        engine.evaluate(rule)
+        results.append(out.values.copy())
+    np.testing.assert_allclose(results[0], results[1])

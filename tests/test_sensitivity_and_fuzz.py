@@ -1,0 +1,102 @@
+"""Tests for the sensitivity module + simulator fuzz invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ComputeWork, paper_cluster
+from repro.datagen import rmat_graph
+from repro.harness.sensitivity import (
+    crossover_scale,
+    diminishing_returns,
+    sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def graph_small():
+    return rmat_graph(scale=9, edge_factor=6, seed=97)
+
+
+class TestSensitivity:
+    def test_sweep_shape(self, graph_small):
+        rows = sweep("pagerank", "native", graph_small, nodes=2,
+                     knob="link", scales=(0.5, 1.0, 2.0),
+                     scale_factor=1e4, iterations=2)
+        assert [row["scale"] for row in rows] == [0.5, 1.0, 2.0]
+        assert all(row["runtime_s"] > 0 for row in rows)
+
+    def test_faster_link_never_hurts(self, graph_small):
+        rows = sweep("pagerank", "graphlab", graph_small, nodes=4,
+                     knob="link", scales=(0.5, 1.0, 4.0),
+                     scale_factor=1e4, iterations=2)
+        runtimes = [row["runtime_s"] for row in rows]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_memory_knob_on_memory_bound(self, graph_small):
+        rows = sweep("pagerank", "native", graph_small, nodes=1,
+                     knob="memory", scales=(1.0, 2.0),
+                     scale_factor=1e4, iterations=2)
+        assert rows[1]["runtime_s"] < rows[0]["runtime_s"]
+
+    def test_invalid_knob(self, graph_small):
+        with pytest.raises(ValueError):
+            sweep("pagerank", "native", graph_small, knob="disk")
+
+    def test_crossover_detection(self):
+        rows = [{"scale": 1, "bound_by": "network", "runtime_s": 4.0},
+                {"scale": 2, "bound_by": "network", "runtime_s": 2.0},
+                {"scale": 4, "bound_by": "memory", "runtime_s": 1.5}]
+        assert crossover_scale(rows) == 4.0
+        assert np.isnan(crossover_scale(rows[:2]))
+        assert np.isnan(crossover_scale([]))
+
+    def test_diminishing_returns(self):
+        rows = [{"scale": 1, "runtime_s": 4.0},
+                {"scale": 2, "runtime_s": 2.0},
+                {"scale": 4, "runtime_s": 1.98}]
+        assert diminishing_returns(rows, threshold=0.05) == 2.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e10),   # streamed bytes
+            st.floats(min_value=0, max_value=1e10),   # random bytes
+            st.floats(min_value=0, max_value=1e11),   # ops
+            st.floats(min_value=0, max_value=1e8),    # traffic bytes
+        ),
+        min_size=1, max_size=8,
+    ),
+    st.integers(min_value=1, max_value=4),
+)
+def test_simulator_invariants_under_random_supersteps(steps, nodes):
+    """Fuzz the simulator: metric identities hold for any step sequence."""
+    cluster = Cluster(paper_cluster(nodes))
+    for streamed, random, ops, traffic_bytes in steps:
+        work = ComputeWork(streamed_bytes=streamed, random_bytes=random,
+                           ops=ops)
+        traffic = np.zeros((nodes, nodes))
+        if nodes > 1:
+            traffic[0, 1] = traffic_bytes
+        cluster.superstep(work, traffic)
+    metrics = cluster.metrics()
+
+    # Total time equals the sum of recorded step durations.
+    assert metrics.total_time_s == pytest.approx(
+        sum(step.time_s for step in metrics.steps)
+    )
+    # Each step lasts at least as long as its slowest component.
+    for step in metrics.steps:
+        assert step.time_s >= max(step.compute_s, step.comm_s) - 1e-12
+    # Byte accounting: total equals per-step sum; per-node mean scales.
+    assert metrics.bytes_sent_total == pytest.approx(
+        sum(step.bytes_sent for step in metrics.steps)
+    )
+    # Utilization and fractions stay in range.
+    assert 0.0 <= metrics.cpu_utilization <= 1.0
+    assert 0.0 <= metrics.network_fraction <= 1.0
+    # The clock never runs backwards.
+    assert cluster.elapsed_s == pytest.approx(metrics.total_time_s)
