@@ -23,8 +23,8 @@ Quickstart::
     print(result.time_per_iteration)
 """
 
-__version__ = "1.0.0"
-
 from . import errors, graph
+
+__version__ = "1.0.0"
 
 __all__ = ["errors", "graph", "__version__"]

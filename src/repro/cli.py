@@ -3,6 +3,7 @@
 Commands:
 
 * ``run`` — one experiment cell: algorithm x framework x dataset x nodes;
+* ``trace`` — run one cell with the flight recorder and export the trace;
 * ``table N`` / ``figure N`` — regenerate one paper artifact;
 * ``datasets`` — list the catalog and proxy sizes;
 * ``frameworks`` — list frameworks and their profiles;
@@ -13,35 +14,35 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-import numpy as np
 
-
-def _cmd_run(args) -> int:
+def _run_cell(args, trace=None):
+    """Shared run/trace front half: dataset, params, run_experiment."""
     from .datagen import dataset as catalog_dataset
     from .harness import run_experiment
 
     data = catalog_dataset(args.dataset)
+    # Only pass what was given (run_experiment fills in default_params),
+    # and only to the algorithms that take it.
     params = {}
-    if args.algorithm == "pagerank":
+    if args.algorithm in ("pagerank", "collaborative_filtering") \
+            and args.iterations is not None:
         params["iterations"] = args.iterations
-    elif args.algorithm == "collaborative_filtering":
-        params["iterations"] = args.iterations
+    if args.algorithm == "collaborative_filtering" \
+            and args.hidden_dim is not None:
         params["hidden_dim"] = args.hidden_dim
-    elif args.algorithm == "bfs":
-        params["source"] = int(np.argmax(data.out_degrees()))
+    return run_experiment(args.algorithm, args.framework, data,
+                          nodes=args.nodes, scale_factor=args.scale_factor,
+                          trace=trace, **params)
 
-    result = run_experiment(args.algorithm, args.framework, data,
-                            nodes=args.nodes, scale_factor=args.scale_factor,
-                            **params)
-    if not result.ok:
-        print(f"status: {result.status} ({result.failure})")
-        return 1
+
+def _print_run(result) -> None:
     metrics = result.metrics()
-    print(f"algorithm          : {args.algorithm}")
-    print(f"framework          : {args.framework}")
-    print(f"nodes              : {args.nodes}")
+    print(f"algorithm          : {result.algorithm}")
+    print(f"framework          : {result.framework}")
+    print(f"nodes              : {result.nodes}")
     print(f"runtime            : {result.runtime():.4f} s (simulated)")
     print(f"iterations         : {metrics.num_iterations}")
     print(f"cpu utilization    : {100 * metrics.cpu_utilization:.0f}%")
@@ -49,7 +50,50 @@ def _cmd_run(args) -> int:
     print(f"memory footprint   : "
           f"{metrics.memory_footprint_bytes / 2**30:.2f} GiB/node")
     print(f"bound by           : {metrics.bound_by()}")
+
+
+def _cmd_run(args) -> int:
+    result = _run_cell(args)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.ok else 1
+    if not result.ok:
+        print(f"status: {result.status} ({result.failure})")
+        return 1
+    _print_run(result)
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from .observability import (
+        Tracer,
+        chrome_trace,
+        render_summary_tree,
+        steps_csv,
+        write_chrome_trace,
+    )
+
+    result = _run_cell(args, trace=Tracer())
+    tracer = result.trace
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(steps_csv(tracer))
+    if args.json:
+        payload = result.to_dict()
+        payload["trace"] = chrome_trace(tracer)
+        print(json.dumps(payload, indent=2))
+    else:
+        if not result.ok:
+            print(f"status: {result.status} ({result.failure})")
+        print(render_summary_tree(tracer))
+        if args.out:
+            print(f"\nwrote Chrome trace to {args.out} "
+                  f"(open in chrome://tracing or ui.perfetto.dev)")
+        if args.csv:
+            print(f"wrote per-superstep CSV to {args.csv}")
+    return 0 if result.ok else 1
 
 
 def _cmd_table(args) -> int:
@@ -161,15 +205,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _cell_arguments(command, positional_dataset=False):
+        command.add_argument("algorithm", choices=ALGORITHMS)
+        command.add_argument("framework", choices=FRAMEWORKS)
+        if positional_dataset:
+            command.add_argument("dataset", nargs="?", default="rmat_mini")
+        else:
+            command.add_argument("--dataset", default="rmat_mini")
+        command.add_argument("--nodes", type=int, default=1)
+        command.add_argument("--scale-factor", type=float, default=1.0)
+        command.add_argument("--iterations", type=int, default=None,
+                             help="override the harness default")
+        command.add_argument("--hidden-dim", type=int, default=None,
+                             help="CF hidden dimension (harness default: 32)")
+        command.add_argument("--json", action="store_true",
+                             help="print the result as JSON")
+
     run = sub.add_parser("run", help="run one experiment cell")
-    run.add_argument("algorithm", choices=ALGORITHMS)
-    run.add_argument("framework", choices=FRAMEWORKS)
-    run.add_argument("--dataset", default="rmat_mini")
-    run.add_argument("--nodes", type=int, default=1)
-    run.add_argument("--scale-factor", type=float, default=1.0)
-    run.add_argument("--iterations", type=int, default=3)
-    run.add_argument("--hidden-dim", type=int, default=32)
+    _cell_arguments(run)
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="flight-record one cell and export the trace")
+    _cell_arguments(trace, positional_dataset=True)
+    trace.add_argument("--out", help="write Chrome trace_event JSON here")
+    trace.add_argument("--csv", help="write per-superstep CSV here")
+    trace.set_defaults(func=_cmd_trace)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int)

@@ -16,12 +16,20 @@ from .network import (
     TrafficReport,
 )
 from .simulator import Cluster, StepReport
-from .timeline import BottleneckReport, analyze, render_timeline
+from .timeline import (
+    BottleneckReport,
+    analyze,
+    metrics_from_trace,
+    render_timeline,
+    steps_from_trace,
+)
 
 __all__ = [
     "BottleneckReport",
     "analyze",
+    "metrics_from_trace",
     "render_timeline",
+    "steps_from_trace",
     "LAYERS",
     "MPI",
     "MULTI_SOCKET",

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SimulationError
+from ..observability import NULL_TRACER
 from .hardware import NodeSpec
 
 
@@ -110,11 +111,12 @@ class Fabric:
     LogGP-style bottleneck model for a full-duplex fat-tree fabric.
     """
 
-    def __init__(self, node: NodeSpec, num_nodes: int):
+    def __init__(self, node: NodeSpec, num_nodes: int, tracer=None):
         if num_nodes < 1:
             raise SimulationError(f"num_nodes must be >= 1, got {num_nodes}")
         self.node = node
         self.num_nodes = num_nodes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def exchange(self, traffic: np.ndarray, layer: CommLayer) -> TrafficReport:
         traffic = np.asarray(traffic, dtype=np.float64)
@@ -134,5 +136,8 @@ class Fabric:
         volume = np.maximum(bytes_out, bytes_in)
         comm_times = np.where(volume > 0, volume / bandwidth + layer.latency_s, 0.0)
         peak = layer.effective_bandwidth(self.node) if volume.max() > 0 else 0.0
+        total = float(bytes_out.sum())
+        if total > 0:
+            self.tracer.count("bytes_sent", total)
         return TrafficReport(comm_times=comm_times, bytes_out=bytes_out,
                              bytes_in=bytes_in, peak_bandwidth=peak)

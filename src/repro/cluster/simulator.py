@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SimulationError
+from ..observability import NULL_TRACER
 from .cost import ComputeWork, CostModel
 from .hardware import ClusterSpec
 from .memory import MemoryTracker
@@ -45,14 +46,17 @@ class Cluster:
     """A running simulation on ``spec.num_nodes`` nodes."""
 
     def __init__(self, spec: ClusterSpec, comm_layer: CommLayer = MPI,
-                 scale_factor: float = 1.0, enforce_memory: bool = True):
+                 scale_factor: float = 1.0, enforce_memory: bool = True,
+                 tracer=None):
         if scale_factor <= 0:
             raise SimulationError("scale_factor must be positive")
         self.spec = spec
         self.comm_layer = comm_layer
         self.scale_factor = float(scale_factor)
         self.cost = CostModel(spec.node)
-        self.fabric = Fabric(spec.node, spec.num_nodes)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(lambda: self._elapsed)
+        self.fabric = Fabric(spec.node, spec.num_nodes, tracer=self.tracer)
         self._memory = [
             MemoryTracker(i, spec.node.dram_bytes, scale_factor, enforce_memory)
             for i in range(spec.num_nodes)
@@ -163,7 +167,31 @@ class Cluster:
             peak_bandwidth=report.peak_bandwidth,
         ))
 
-        self._elapsed += step_time
+        tracer = self.tracer
+        if tracer.enabled:
+            start = self._elapsed
+            with tracer.span("superstep", index=self._steps,
+                             compute_s=float(compute_times.max()),
+                             comm_s=float(report.comm_times.max()),
+                             bytes_sent=report.total_bytes,
+                             peak_bandwidth=report.peak_bandwidth,
+                             overhead_s=overhead_s):
+                for node in range(self.num_nodes):
+                    if compute_times[node] > 0:
+                        tracer.record("compute", start,
+                                      float(compute_times[node]), node=node)
+                    if report.comm_times[node] > 0:
+                        # Overlapped communication hides under compute;
+                        # otherwise it follows it (BSP phase order).
+                        comm_start = start if overlap \
+                            else start + float(compute_times[node])
+                        tracer.record("comm", comm_start,
+                                      float(report.comm_times[node]),
+                                      node=node,
+                                      bytes_out=float(report.bytes_out[node]))
+                self._elapsed += step_time
+        else:
+            self._elapsed += step_time
         self._steps += 1
         return StepReport(self._steps - 1, step_time, compute_times,
                           report.comm_times, report)
@@ -172,6 +200,7 @@ class Cluster:
         """Advance wall clock by a fixed, unscaled amount (startup, I/O)."""
         if seconds < 0:
             raise SimulationError("tick must be non-negative")
+        self.tracer.record("tick", self._elapsed, seconds)
         self._elapsed += seconds
         self._metrics.total_time_s += seconds
         self._metrics.total_core_seconds += (
@@ -183,7 +212,14 @@ class Cluster:
         duration = self._elapsed - self._iteration_started_at
         self._iteration_started_at = self._elapsed
         self._metrics.iteration_times.append(duration)
+        self.tracer.instant("iteration-mark",
+                            index=len(self._metrics.iteration_times) - 1,
+                            time_s=duration)
         return duration
+
+    def trace_span(self, name: str, **attrs):
+        """Open an engine-level span on this cluster's tracer."""
+        return self.tracer.span(name, **attrs)
 
     # -- results ------------------------------------------------------------
 

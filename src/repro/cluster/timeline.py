@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .metrics import RunMetrics
+from .metrics import RunMetrics, StepRecord
 
 
 @dataclass
@@ -39,6 +39,54 @@ class BottleneckReport:
         return advice[self.dominant]
 
 
+def steps_from_trace(tracer) -> list:
+    """Rebuild :class:`StepRecord` rows from a tracer's superstep spans.
+
+    The flight recorder and the metrics monitor observe the same
+    supersteps, so this is the bridge that lets every timeline renderer
+    run off an exported trace instead of a live :class:`RunMetrics`.
+    """
+    records = []
+    for span in tracer.spans_named("superstep"):
+        if span.end_s is None:
+            continue
+        records.append(StepRecord(
+            index=int(span.attrs.get("index", len(records))),
+            time_s=span.duration_s,
+            compute_s=float(span.attrs.get("compute_s", 0.0)),
+            comm_s=float(span.attrs.get("comm_s", 0.0)),
+            bytes_sent=float(span.attrs.get("bytes_sent", 0.0)),
+            peak_bandwidth=float(span.attrs.get("peak_bandwidth", 0.0)),
+        ))
+    return records
+
+
+def metrics_from_trace(tracer, num_nodes: int = 1) -> RunMetrics:
+    """Minimal :class:`RunMetrics` reconstructed from a trace.
+
+    Carries the superstep rows, critical-path decomposition and byte
+    totals — everything :func:`analyze` and :func:`render_timeline`
+    need; occupancy/memory fields (which need the cost model's view)
+    stay zero.
+    """
+    steps = steps_from_trace(tracer)
+    metrics = RunMetrics(num_nodes=num_nodes)
+    metrics.steps = steps
+    metrics.total_time_s = (sum(step.time_s for step in steps)
+                            + tracer.total_duration("tick"))
+    metrics.compute_time_s = sum(step.compute_s for step in steps)
+    metrics.comm_time_s = sum(step.comm_s for step in steps)
+    metrics.bytes_sent_total = tracer.counters.get(
+        "bytes_sent", sum(step.bytes_sent for step in steps))
+    metrics.peak_network_bandwidth = max(
+        (step.peak_bandwidth for step in steps), default=0.0)
+    metrics.iteration_times = [
+        float(span.attrs.get("time_s", 0.0))
+        for span in tracer.spans_named("iteration-mark")
+    ]
+    return metrics
+
+
 def analyze(metrics: RunMetrics) -> BottleneckReport:
     """Classify a finished run by its dominant cost."""
     compute = metrics.compute_time_s
@@ -46,7 +94,6 @@ def analyze(metrics: RunMetrics) -> BottleneckReport:
     accounted = sum(min(step.time_s, step.compute_s + step.comm_s)
                     for step in metrics.steps)
     overhead = max(metrics.total_time_s - accounted, 0.0)
-    total = max(metrics.total_time_s, 1e-18)
 
     fractions = {
         "compute": compute / max(compute + comm + overhead, 1e-18),

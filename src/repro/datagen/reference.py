@@ -19,7 +19,7 @@ from typing import Callable
 
 from ..graph import CSRGraph, RatingsMatrix
 from .ratings import netflix_like_ratings
-from .rmat import RMATParams, rmat_graph, rmat_triangle_graph
+from .rmat import rmat_graph, rmat_triangle_graph
 
 #: Linear downscale factor between the paper's dataset sizes and the
 #: proxies generated here (vertex counts are divided by roughly this).

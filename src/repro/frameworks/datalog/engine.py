@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...errors import ReproError
+from ...observability import NULL_TRACER
 from .rules import Head, Rule, Var
 from .table import AggregateTable
 
@@ -48,9 +49,10 @@ class SocialiteEngine:
     """Holds the database and evaluates rules over it."""
 
     def __init__(self, num_shards: int = 1, tuple_bytes: float = 16.0,
-                 vertex_universe: int = 1):
+                 vertex_universe: int = 1, tracer=NULL_TRACER):
         self.num_shards = num_shards
         self.tuple_bytes = tuple_bytes
+        self.tracer = tracer
         self.tables = {}
         from ...graph import partition_vertices_1d
         self.shard_partition = partition_vertices_1d(
@@ -90,6 +92,12 @@ class SocialiteEngine:
 
         stats.work_share = self._work_share(rule, bindings)
         stats.changed = self._fold_head(rule, bindings, stats)
+        if self.tracer.enabled:
+            self.tracer.count("tuples_produced", stats.produced_tuples)
+            self.tracer.count("tuples_scanned_bytes", stats.scanned_bytes)
+            self.tracer.instant("rule", head=rule.head.table,
+                                produced=stats.produced_tuples,
+                                join_rows=stats.join_output_rows)
         return stats
 
     def _work_share(self, rule: Rule, bindings: dict) -> np.ndarray:

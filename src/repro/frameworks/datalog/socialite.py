@@ -57,6 +57,10 @@ def _charge(cluster: Cluster, profile: FrameworkProfile, stats: EvalStats,
     share = stats.work_share if stats.work_share is not None else \
         np.full(cluster.num_nodes, 1.0 / cluster.num_nodes)
     traffic = stats.traffic * profile.message_overhead_factor
+    span = cluster.trace_span("rule-eval",
+                              scanned_bytes=stats.scanned_bytes,
+                              join_rows=stats.join_output_rows,
+                              produced=stats.produced_tuples)
     works = []
     for node in range(cluster.num_nodes):
         message_bytes = traffic[node, :].sum() + traffic[:, node].sum()
@@ -73,10 +77,11 @@ def _charge(cluster: Cluster, profile: FrameworkProfile, stats: EvalStats,
             cores_fraction=profile.cores_fraction,
             prefetch=profile.prefetch,
         ))
-    cluster.superstep(works, traffic,
-                      overlap=profile.overlaps_communication,
-                      layer=profile.comm_layer,
-                      overhead_s=profile.superstep_overhead_s)
+    with span:
+        cluster.superstep(works, traffic,
+                          overlap=profile.overlaps_communication,
+                          layer=profile.comm_layer,
+                          overhead_s=profile.superstep_overhead_s)
 
 
 def _allocate_tables(cluster: Cluster, engine: SocialiteEngine) -> None:
@@ -92,7 +97,8 @@ def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
         raise ValueError("iterations must be >= 1")
     profile = _profile(optimized, profile_override)
     n = graph.num_vertices
-    engine = SocialiteEngine(cluster.num_nodes, vertex_universe=n)
+    engine = SocialiteEngine(cluster.num_nodes, vertex_universe=n,
+                             tracer=cluster.tracer)
 
     out_degrees = graph.out_degrees().astype(np.float64)
     engine.add(TupleTable("outedge", [graph.sources(), graph.targets],
@@ -121,16 +127,17 @@ def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
         body=[Atom("outdeg", node_var, Var("_d"))],
     )
 
-    for _ in range(iterations):
-        rank_next.reset()
-        stats_const = engine.evaluate(const_rule)
-        stats_main = engine.evaluate(main_rule)
-        stats_main.scanned_bytes += stats_const.scanned_bytes
-        stats_main.ops += stats_const.ops
-        _charge(cluster, profile, stats_main)
-        cluster.mark_iteration()
-        rank.values[:] = rank_next.values
-        rank.present[:] = True
+    for iteration in range(iterations):
+        with cluster.trace_span("iteration", index=iteration):
+            rank_next.reset()
+            stats_const = engine.evaluate(const_rule)
+            stats_main = engine.evaluate(main_rule)
+            stats_main.scanned_bytes += stats_const.scanned_bytes
+            stats_main.ops += stats_const.ops
+            _charge(cluster, profile, stats_main)
+            cluster.mark_iteration()
+            rank.values[:] = rank_next.values
+            rank.present[:] = True
 
     ranks = rank.values.copy()
     return AlgorithmResult(
@@ -147,7 +154,8 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0,
         raise ValueError(f"source {source} out of range")
     profile = _profile(optimized)
     n = graph.num_vertices
-    engine = SocialiteEngine(cluster.num_nodes, vertex_universe=n)
+    engine = SocialiteEngine(cluster.num_nodes, vertex_universe=n,
+                             tracer=cluster.tracer)
     engine.add(TupleTable("edge", [graph.sources(), graph.targets],
                           cluster.num_nodes, key_universe=n,
                           tail_nested=True))
@@ -163,13 +171,19 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0,
     )
 
     changed = bfs_table.combine(np.array([source]), np.array([0.0]))
+    tracer = cluster.tracer
+    tracer.count("frontier_size", 1)          # the source vertex
     rounds = 0
     while changed.size:
         rounds += 1
-        stats = engine.evaluate(rule, delta_keys=changed)
-        _charge(cluster, profile, stats)
-        cluster.mark_iteration()
+        with cluster.trace_span("round", index=rounds,
+                                delta=int(changed.size)):
+            stats = engine.evaluate(rule, delta_keys=changed)
+            _charge(cluster, profile, stats)
+            cluster.mark_iteration()
         changed = stats.changed
+        if changed.size:
+            tracer.count("frontier_size", int(changed.size))
 
     from ...algorithms.bfs import UNREACHED
     distances = np.where(bfs_table.present,
@@ -189,7 +203,8 @@ def triangle_count(graph: CSRGraph, cluster: Cluster,
     """The three-way join TRIANGLE(0, $INC(1)) :- EDGE, EDGE, EDGE."""
     profile = _profile(optimized)
     n = graph.num_vertices
-    engine = SocialiteEngine(cluster.num_nodes, vertex_universe=n)
+    engine = SocialiteEngine(cluster.num_nodes, vertex_universe=n,
+                             tracer=cluster.tracer)
     engine.add(TupleTable("edge", [graph.sources(), graph.targets],
                           cluster.num_nodes, key_universe=n,
                           tail_nested=True))
@@ -273,7 +288,6 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
     user_part = partition_vertices_1d(max(ratings.num_users, 1), nodes)
     item_part = partition_vertices_1d(max(ratings.num_items, 1), nodes)
     user_shard = user_part.owner_of_many(ratings.users)
-    item_shard = item_part.owner_of_many(ratings.items)
 
     # Bulk transfer: unique (user-shard, item) pairs decide which q rows
     # each node prefetches; the same volume returns as updates.
@@ -309,34 +323,37 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
 
     rmse_curve = []
     gamma = gamma0
-    for _ in range(iterations):
-        gd_step(csr, csr_t, user_degrees, item_degrees,
-                p_factors, q_factors, gamma, lambda_reg, lambda_reg)
-        gamma *= step_decay
-        rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
+    for iteration in range(iterations):
+        with cluster.trace_span("iteration", index=iteration):
+            gd_step(csr, csr_t, user_degrees, item_degrees,
+                    p_factors, q_factors, gamma, lambda_reg, lambda_reg)
+            gamma *= step_decay
+            rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
 
-        works = []
-        for node in range(nodes):
-            count = ratings_per_node[node]
-            # Vector payloads live in Java object arrays: the profile's
-            # serialization factor inflates the touched bytes and half of
-            # the row accesses are effectively irregular.
-            factor_bytes = (4.0 * row_bytes * count
-                            * profile.message_overhead_factor)
-            message_bytes = traffic[node, :].sum() + traffic[:, node].sum()
-            works.append(ComputeWork(
-                streamed_bytes=0.5 * factor_bytes + 24.0 * count
-                + 2.0 * message_bytes,
-                random_bytes=0.5 * factor_bytes,
-                ops=8.0 * hidden_dim * count,
-                cpu_efficiency=profile.cpu_efficiency,
-                cores_fraction=profile.cores_fraction,
-            ))
-        cluster.superstep(works, traffic,
-                          overlap=profile.overlaps_communication,
-                          layer=profile.comm_layer,
-                          overhead_s=profile.superstep_overhead_s)
-        cluster.mark_iteration()
+            works = []
+            for node in range(nodes):
+                count = ratings_per_node[node]
+                # Vector payloads live in Java object arrays: the
+                # profile's serialization factor inflates the touched
+                # bytes and half of the row accesses are effectively
+                # irregular.
+                factor_bytes = (4.0 * row_bytes * count
+                                * profile.message_overhead_factor)
+                message_bytes = (traffic[node, :].sum()
+                                 + traffic[:, node].sum())
+                works.append(ComputeWork(
+                    streamed_bytes=0.5 * factor_bytes + 24.0 * count
+                    + 2.0 * message_bytes,
+                    random_bytes=0.5 * factor_bytes,
+                    ops=8.0 * hidden_dim * count,
+                    cpu_efficiency=profile.cpu_efficiency,
+                    cores_fraction=profile.cores_fraction,
+                ))
+            cluster.superstep(works, traffic,
+                              overlap=profile.overlaps_communication,
+                              layer=profile.comm_layer,
+                              overhead_s=profile.superstep_overhead_s)
+            cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="collaborative_filtering", framework=profile.name,

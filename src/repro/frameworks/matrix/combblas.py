@@ -36,7 +36,7 @@ _PROFILE = COMBBLAS
 def _build(graph: CSRGraph, cluster: Cluster, bytes_per_nnz: float = 16.0):
     """Distribute the matrix and register its memory."""
     grid = ProcessGrid(cluster.num_nodes)
-    dist = DistSpMat(graph, grid)
+    dist = DistSpMat(graph, grid, tracer=cluster.tracer)
     nnz_per_node = dist.nnz_per_node()
     for node in range(cluster.num_nodes):
         cluster.allocate(node, "matrix",
@@ -101,13 +101,14 @@ def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
     out_degrees = graph.out_degrees()
     safe = np.maximum(out_degrees, 1)
     ranks = np.full(num_vertices, 1.0)
-    for _ in range(iterations):
-        scaled = np.where(out_degrees > 0, ranks / safe, 0.0)
-        y, flops, traffic = dist.spmv(scaled, PLUS_TIMES)
-        ranks = damping + (1.0 - damping) * y
-        _step(cluster, nnz_per_node, flops, traffic,
-              vector_bytes=8.0 * 3 * num_vertices / cluster.num_nodes)
-        cluster.mark_iteration()
+    for iteration in range(iterations):
+        with cluster.trace_span("spmv", kind="dense", index=iteration):
+            scaled = np.where(out_degrees > 0, ranks / safe, 0.0)
+            y, flops, traffic = dist.spmv(scaled, PLUS_TIMES)
+            ranks = damping + (1.0 - damping) * y
+            _step(cluster, nnz_per_node, flops, traffic,
+                  vector_bytes=8.0 * 3 * num_vertices / cluster.num_nodes)
+            cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="pagerank", framework="combblas", values=ranks,
@@ -129,15 +130,21 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
     frontier = np.zeros(num_vertices)
     frontier[source] = 1.0
     level = 0
+    tracer = cluster.tracer
+    tracer.count("frontier_size", 1)          # the source vertex
     while frontier.any():
         level += 1
-        y, flops, traffic = dist.spmv(frontier, OR_AND, sparse_x=True)
-        fresh = (y > 0) & (distances == UNREACHED)
-        distances[fresh] = level
-        _step(cluster, nnz_per_node, flops, traffic,
-              touched_nnz=flops / 2.0, gather_random_bytes=4.0)
-        cluster.mark_iteration()
+        with cluster.trace_span("spmv", kind="sparse", level=level,
+                                frontier=int(frontier.sum())):
+            y, flops, traffic = dist.spmv(frontier, OR_AND, sparse_x=True)
+            fresh = (y > 0) & (distances == UNREACHED)
+            distances[fresh] = level
+            _step(cluster, nnz_per_node, flops, traffic,
+                  touched_nnz=flops / 2.0, gather_random_bytes=4.0)
+            cluster.mark_iteration()
         frontier = fresh.astype(np.float64)
+        if fresh.any():
+            tracer.count("frontier_size", int(fresh.sum()))
 
     return AlgorithmResult(
         algorithm="bfs", framework="combblas", values=distances,
@@ -187,20 +194,24 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
 
     rmse_curve = []
     gamma = gamma0
-    for _ in range(iterations):
-        gd_step(csr, csr_t, user_degrees, item_degrees,
-                p_factors, q_factors, gamma, lambda_reg, lambda_reg)
-        gamma *= step_decay
-        rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
-        # K per-dimension SpMVs, each re-scanning R with one factor
-        # column as the dense vector ("a single GD iteration consists of
-        # K matrix-vector multiplications"). Gathering one 8-byte column
-        # entry per nonzero has mild irregularity (columns are dense).
-        for _k in range(hidden_dim):
-            _step(cluster, nnz_per_node, flops_one, traffic_one,
-                  vector_bytes=8.0 * n / cluster.num_nodes / density,
-                  gather_random_bytes=8.0)
-        cluster.mark_iteration()
+    for iteration in range(iterations):
+        with cluster.trace_span("iteration", index=iteration,
+                                spmvs=hidden_dim):
+            gd_step(csr, csr_t, user_degrees, item_degrees,
+                    p_factors, q_factors, gamma, lambda_reg, lambda_reg)
+            gamma *= step_decay
+            rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
+            # K per-dimension SpMVs, each re-scanning R with one factor
+            # column as the dense vector ("a single GD iteration consists
+            # of K matrix-vector multiplications"). Gathering one 8-byte
+            # column entry per nonzero has mild irregularity (columns are
+            # dense).
+            for _k in range(hidden_dim):
+                with cluster.trace_span("spmv", kind="dense", index=_k):
+                    _step(cluster, nnz_per_node, flops_one, traffic_one,
+                          vector_bytes=8.0 * n / cluster.num_nodes / density,
+                          gather_random_bytes=8.0)
+            cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="collaborative_filtering", framework="combblas",
@@ -219,35 +230,38 @@ def triangle_count(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
     """
     dist, nnz_per_node = _build(graph, cluster)
 
-    product, flops, traffic = dist.spgemm_aa()
-    # The product must live in memory before the elementwise mask; its
-    # nonzeros distribute like the blocks do (roughly evenly).
-    product_per_node = 16.0 * product.nnz / cluster.num_nodes
-    cluster.allocate_all("a-squared", product_per_node)
+    with cluster.trace_span("spgemm") as spgemm_span:
+        product, flops, traffic = dist.spgemm_aa()
+        spgemm_span.set(flops=flops, product_nnz=int(product.nnz))
+        # The product must live in memory before the elementwise mask;
+        # its nonzeros distribute like the blocks do (roughly evenly).
+        product_per_node = 16.0 * product.nnz / cluster.num_nodes
+        cluster.allocate_all("a-squared", product_per_node)
 
-    count, mult_flops = dist.ewise_mult_sum(product)
-    # SpGEMM pays for far more than the multiplies: heap/hash accumulator
-    # maintenance per multiply (irregular, ~log d deep), expanded-triple
-    # materialization that is re-merged once per SUMMA stage, and the
-    # full A^2 written out and re-read for the mask — work the fused
-    # native intersection never does (Section 6.2's "inter-operation
-    # optimization" roadmap item).
-    multiplies = flops / 2.0
-    stages = dist.grid.grid
-    spa_random_bytes = 32.0 * multiplies / cluster.num_nodes
-    expand_stream_bytes = (16.0 * min(stages, 8) * multiplies
-                           / cluster.num_nodes)
-    product_stream_bytes = 4.0 * product_per_node
-    works = _works(cluster, nnz_per_node, 100.0 * multiplies + mult_flops,
-                   traffic)
-    for work in works:
-        work.random_bytes += spa_random_bytes
-        work.streamed_bytes += product_stream_bytes + expand_stream_bytes
-        work.prefetch = False   # pointer-chasing accumulators do not
-    cluster.superstep(works, traffic, overlap=_PROFILE.overlaps_communication,
-                      layer=_PROFILE.comm_layer,
-                      overhead_s=_PROFILE.superstep_overhead_s)
-    cluster.mark_iteration()
+        count, mult_flops = dist.ewise_mult_sum(product)
+        # SpGEMM pays for far more than the multiplies: heap/hash
+        # accumulator maintenance per multiply (irregular, ~log d deep),
+        # expanded-triple materialization that is re-merged once per
+        # SUMMA stage, and the full A^2 written out and re-read for the
+        # mask — work the fused native intersection never does (Section
+        # 6.2's "inter-operation optimization" roadmap item).
+        multiplies = flops / 2.0
+        stages = dist.grid.grid
+        spa_random_bytes = 32.0 * multiplies / cluster.num_nodes
+        expand_stream_bytes = (16.0 * min(stages, 8) * multiplies
+                               / cluster.num_nodes)
+        product_stream_bytes = 4.0 * product_per_node
+        works = _works(cluster, nnz_per_node,
+                       100.0 * multiplies + mult_flops, traffic)
+        for work in works:
+            work.random_bytes += spa_random_bytes
+            work.streamed_bytes += product_stream_bytes + expand_stream_bytes
+            work.prefetch = False   # pointer-chasing accumulators do not
+        cluster.superstep(works, traffic,
+                          overlap=_PROFILE.overlaps_communication,
+                          layer=_PROFILE.comm_layer,
+                          overhead_s=_PROFILE.superstep_overhead_s)
+        cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="triangle_counting", framework="combblas",

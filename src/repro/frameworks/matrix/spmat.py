@@ -30,6 +30,7 @@ from scipy import sparse
 
 from ...errors import PartitionError
 from ...graph import CSRGraph
+from ...observability import NULL_TRACER
 from .semiring import PLUS_TIMES, Semiring, semiring_spmv
 
 PROCS_PER_NODE = 36
@@ -68,9 +69,10 @@ class ProcessGrid:
 class DistSpMat:
     """The adjacency of ``graph`` distributed over a :class:`ProcessGrid`."""
 
-    def __init__(self, graph: CSRGraph, grid: ProcessGrid):
+    def __init__(self, graph: CSRGraph, grid: ProcessGrid, tracer=NULL_TRACER):
         self.graph = graph
         self.grid = grid
+        self.tracer = tracer
         n = graph.num_vertices
         g = grid.grid
         # Band boundaries of the block distribution.
@@ -97,7 +99,6 @@ class DistSpMat:
 
     def nnz_per_node(self) -> np.ndarray:
         """Edges stored per cluster node (for memory accounting)."""
-        g = self.grid.grid
         ranks = np.arange(self.grid.num_procs)
         owner = self.grid.node_of_rank(ranks)
         per_node = np.zeros(self.grid.num_nodes)
@@ -169,6 +170,10 @@ class DistSpMat:
             y_bands = x_bands
             flops = 2.0 * float(self.nnz)
         traffic = self.spmv_traffic(x_bands, y_bands, value_bytes)
+        if self.tracer.enabled:
+            self.tracer.count("flops", flops)
+            self.tracer.instant("spmv-kernel", flops=flops,
+                                sparse=bool(sparse_x))
         return y, flops, traffic
 
     def spgemm_aa(self):
@@ -201,6 +206,10 @@ class DistSpMat:
                 for target in row_targets | col_targets:
                     if target != source:
                         node_traffic[source, target] += nbytes
+        if self.tracer.enabled:
+            self.tracer.count("flops", flops)
+            self.tracer.instant("spgemm-kernel", flops=flops,
+                                product_nnz=int(product.nnz))
         return product, flops, node_traffic
 
     def ewise_mult_sum(self, other) -> "tuple[float, float]":

@@ -67,8 +67,12 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0,
     raw_traffic_total = 0.0
     wire_traffic_total = 0.0
 
+    tracer = cluster.tracer
+    tracer.count("frontier_size", 1)          # the source vertex
     while frontier.size:
         level += 1
+        level_span = cluster.trace_span("level", index=level,
+                                        frontier=int(frontier.size))
         frontier_owner = part.owner_of_many(frontier)
         traffic = np.zeros((cluster.num_nodes, cluster.num_nodes))
         works = []
@@ -125,8 +129,9 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0,
                 incoming = min(incoming, 16 * 2**20 / cluster.scale_factor)
             cluster.allocate(node, "recv-buffers", incoming)
 
-        cluster.superstep(works, traffic, overlap=options.overlap)
-        cluster.mark_iteration()
+        with level_span:
+            cluster.superstep(works, traffic, overlap=options.overlap)
+            cluster.mark_iteration()
 
         fresh = np.unique(np.concatenate(discovered_all)) if discovered_all \
             else np.zeros(0, dtype=np.int64)
@@ -135,6 +140,8 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0,
         distances[fresh] = level
         frontier = fresh
         frontier_sizes.append(int(fresh.size))
+        if fresh.size:
+            tracer.count("frontier_size", int(fresh.size))
 
     metrics = cluster.metrics()
     return AlgorithmResult(

@@ -163,41 +163,45 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
         )
 
     for iteration in range(iterations):
-        if method == "sgd":
-            for sub in range(num_nodes):
-                works = []
-                traffic = np.zeros((num_nodes, num_nodes))
-                for node in range(num_nodes):
-                    chunk = (node + sub) % num_nodes
-                    mask = block_of == node * num_nodes + chunk
-                    count = int(mask.sum())
-                    if count:
-                        sgd_sweep(users[mask], items[mask], values[mask],
-                                   p_factors, q_factors, gamma,
-                                   lambda_reg, lambda_reg)
-                    works.append(_work_for(count))
-                    # Rotate the item chunk to the next diagonal owner
-                    # (vertex-proportional: density-corrected).
-                    if num_nodes > 1:
-                        succ = (node - 1) % num_nodes
-                        traffic[node, succ] = (8.0 * k * items_per_chunk[chunk]
-                                               / density)
+        with cluster.trace_span("iteration", index=iteration,
+                                method=method):
+            if method == "sgd":
+                for sub in range(num_nodes):
+                    works = []
+                    traffic = np.zeros((num_nodes, num_nodes))
+                    for node in range(num_nodes):
+                        chunk = (node + sub) % num_nodes
+                        mask = block_of == node * num_nodes + chunk
+                        count = int(mask.sum())
+                        if count:
+                            sgd_sweep(users[mask], items[mask], values[mask],
+                                      p_factors, q_factors, gamma,
+                                      lambda_reg, lambda_reg)
+                        works.append(_work_for(count))
+                        # Rotate the item chunk to the next diagonal owner
+                        # (vertex-proportional: density-corrected).
+                        if num_nodes > 1:
+                            succ = (node - 1) % num_nodes
+                            traffic[node, succ] = (8.0 * k
+                                                   * items_per_chunk[chunk]
+                                                   / density)
+                    cluster.superstep(works, traffic,
+                                      overlap=options.overlap)
+            else:
+                gd_step(csr, csr_t, user_degrees, item_degrees,
+                        p_factors, q_factors, gamma, lambda_reg, lambda_reg)
+                works = [_work_for(ratings_per_user_chunk[node])
+                         for node in range(num_nodes)]
+                # GD: item factors are aggregated across every node that
+                # rated the item — an all-to-all of the full Q matrix
+                # (vertex-proportional: density-corrected).
+                traffic = np.full((num_nodes, num_nodes),
+                                  8.0 * k * ratings.num_items
+                                  / max(num_nodes, 1) / density)
+                np.fill_diagonal(traffic, 0.0)
                 cluster.superstep(works, traffic, overlap=options.overlap)
-        else:
-            gd_step(csr, csr_t, user_degrees, item_degrees,
-                     p_factors, q_factors, gamma, lambda_reg, lambda_reg)
-            works = [_work_for(ratings_per_user_chunk[node])
-                     for node in range(num_nodes)]
-            # GD: item factors are aggregated across every node that
-            # rated the item — an all-to-all of the full Q matrix
-            # (vertex-proportional: density-corrected).
-            traffic = np.full((num_nodes, num_nodes),
-                              8.0 * k * ratings.num_items
-                              / max(num_nodes, 1) / density)
-            np.fill_diagonal(traffic, 0.0)
-            cluster.superstep(works, traffic, overlap=options.overlap)
 
-        cluster.mark_iteration()
+            cluster.mark_iteration()
         gamma *= step_decay
         rmse = training_rmse(ratings, p_factors, q_factors)
         rmse_curve.append(rmse)

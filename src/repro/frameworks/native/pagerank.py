@@ -141,15 +141,18 @@ def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
         ))
 
     iterations_run = 0
-    for _ in range(iterations):
-        contributions = np.where(out_degrees > 0, ranks / safe_degrees, 0.0)
-        per_edge = np.repeat(contributions, out_degrees)
-        gathered = np.bincount(graph.targets, weights=per_edge,
-                               minlength=num_vertices)
-        new_ranks = damping + (1.0 - damping) * gathered
+    for iteration in range(iterations):
+        with cluster.trace_span("iteration", index=iteration,
+                                compressed=options.compression):
+            contributions = np.where(out_degrees > 0,
+                                     ranks / safe_degrees, 0.0)
+            per_edge = np.repeat(contributions, out_degrees)
+            gathered = np.bincount(graph.targets, weights=per_edge,
+                                   minlength=num_vertices)
+            new_ranks = damping + (1.0 - damping) * gathered
 
-        cluster.superstep(works, traffic, overlap=options.overlap)
-        cluster.mark_iteration()
+            cluster.superstep(works, traffic, overlap=options.overlap)
+            cluster.mark_iteration()
         iterations_run += 1
 
         delta = float(np.abs(new_ranks - ranks).max())

@@ -116,8 +116,15 @@ def triangle_count(graph: CSRGraph, cluster: Cluster,
             prefetch=options.prefetch,
         ))
 
-    cluster.superstep(works, traffic, overlap=options.overlap)
-    cluster.mark_iteration()
+    tracer = cluster.tracer
+    if tracer.enabled:
+        # Successful membership probes = one per counted triangle.
+        tracer.count("cache_hits", float(count))
+    with cluster.trace_span("neighborhood-exchange",
+                            bitvector=options.bitvector,
+                            probe_edges=float(probe_work.sum())):
+        cluster.superstep(works, traffic, overlap=options.overlap)
+        cluster.mark_iteration()
 
     metrics = cluster.metrics()
     wire_traffic = float(traffic.sum())

@@ -44,3 +44,39 @@ class AlgorithmResult:
         if self.algorithm in ("pagerank", "collaborative_filtering"):
             return self.time_per_iteration_s
         return self.total_time_s
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary: metrics and scalar diagnostics, not arrays.
+
+        ``values`` can be a hundred-million-entry rank vector; JSON output
+        summarizes it by shape instead of dumping it.
+        """
+        import numpy as np
+
+        def _safe(value):
+            if isinstance(value, np.ndarray):
+                return {"shape": list(value.shape), "dtype": str(value.dtype)}
+            if isinstance(value, np.integer):
+                return int(value)
+            if isinstance(value, np.floating):
+                return float(value)
+            if isinstance(value, np.bool_):
+                return bool(value)
+            if isinstance(value, dict):
+                return {str(k): _safe(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [_safe(v) for v in value]
+            return value
+
+        metrics = dict(self.metrics.summary())
+        metrics["compute_time_s"] = self.metrics.compute_time_s
+        metrics["comm_time_s"] = self.metrics.comm_time_s
+        metrics["bytes_sent_total"] = self.metrics.bytes_sent_total
+        return {
+            "algorithm": self.algorithm,
+            "framework": self.framework,
+            "iterations": self.iterations,
+            "values": _safe(self.values),
+            "metrics": _safe(metrics),
+            "extras": _safe(self.extras),
+        }

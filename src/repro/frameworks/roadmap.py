@@ -170,9 +170,6 @@ def roadmap_outcomes(nodes: int = 4) -> dict:
             # frontiers: model it by shipping compressed ids through the
             # stock engine (the sparse SpMV's traffic shrinks ~4x, the
             # typical adaptive-encoder ratio on frontier sets).
-            improved = run_experiment(algorithm, framework, data,
-                                      nodes=nodes, scale_factor=factor,
-                                      **params)
             improved_runtime = _combblas_bfs_compressed(data, nodes, factor,
                                                         params["source"])
         elif framework == "socialite":

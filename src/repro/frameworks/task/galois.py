@@ -60,22 +60,23 @@ def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
     out_degrees = graph.out_degrees()
     safe = np.maximum(out_degrees, 1)
     ranks = np.full(num_vertices, 1.0)
-    for _ in range(iterations):
-        contributions = np.where(out_degrees > 0, ranks / safe, 0.0)
-        per_edge = np.repeat(contributions, out_degrees)
-        gathered = np.bincount(graph.targets, weights=per_edge,
-                               minlength=num_vertices)
-        ranks = damping + (1.0 - damping) * gathered
-        # Same memory behaviour as the native kernel — per-edge rank
-        # gathers at cache-line granularity, prefetched into streams —
-        # plus Galois's small per-work-item scheduling cost.
-        cluster.superstep(
-            _work(streamed=(8.0 + 64.0) * num_edges + 16.0 * num_vertices,
-                  random=0.05 * 64.0 * num_edges,
-                  ops=5.0 * num_edges + 8.0 * num_vertices),
-            overhead_s=_PROFILE.superstep_overhead_s,
-        )
-        cluster.mark_iteration()
+    for iteration in range(iterations):
+        with cluster.trace_span("iteration", index=iteration):
+            contributions = np.where(out_degrees > 0, ranks / safe, 0.0)
+            per_edge = np.repeat(contributions, out_degrees)
+            gathered = np.bincount(graph.targets, weights=per_edge,
+                                   minlength=num_vertices)
+            ranks = damping + (1.0 - damping) * gathered
+            # Same memory behaviour as the native kernel — per-edge rank
+            # gathers at cache-line granularity, prefetched into streams —
+            # plus Galois's small per-work-item scheduling cost.
+            cluster.superstep(
+                _work(streamed=(8.0 + 64.0) * num_edges + 16.0 * num_vertices,
+                      random=0.05 * 64.0 * num_edges,
+                      ops=5.0 * num_edges + 8.0 * num_vertices),
+                overhead_s=_PROFILE.superstep_overhead_s,
+            )
+            cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="pagerank", framework="galois", values=ranks,
@@ -98,25 +99,31 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
     frontier = np.array([source], dtype=np.int64)
     level = 0
     frontier_sizes = [1]
+    tracer = cluster.tracer
+    tracer.count("frontier_size", 1)          # the source vertex
     while frontier.size:
         level += 1
-        neighbors, _ = graph.neighbors_of_many(frontier)
-        edges = float(neighbors.size)
-        candidates = np.unique(neighbors)
-        fresh = candidates[distances[candidates] == UNREACHED]
-        distances[fresh] = level
-        # Same per-edge traffic as the native kernel (scan + dedup and
-        # scatter passes + visited probes), at Galois's slightly lower
-        # per-op efficiency.
-        cluster.superstep(
-            _work(streamed=(8.0 + 12.0) * edges + 8.0 * frontier.size,
-                  random=1.0 * edges + 4.0 * fresh.size,
-                  ops=6.0 * edges),
-            overhead_s=_PROFILE.superstep_overhead_s,
-        )
-        cluster.mark_iteration()
+        with cluster.trace_span("level", index=level,
+                                frontier=int(frontier.size)):
+            neighbors, _ = graph.neighbors_of_many(frontier)
+            edges = float(neighbors.size)
+            candidates = np.unique(neighbors)
+            fresh = candidates[distances[candidates] == UNREACHED]
+            distances[fresh] = level
+            # Same per-edge traffic as the native kernel (scan + dedup
+            # and scatter passes + visited probes), at Galois's slightly
+            # lower per-op efficiency.
+            cluster.superstep(
+                _work(streamed=(8.0 + 12.0) * edges + 8.0 * frontier.size,
+                      random=1.0 * edges + 4.0 * fresh.size,
+                      ops=6.0 * edges),
+                overhead_s=_PROFILE.superstep_overhead_s,
+            )
+            cluster.mark_iteration()
         frontier = fresh
         frontier_sizes.append(int(fresh.size))
+        if fresh.size:
+            tracer.count("frontier_size", int(fresh.size))
 
     return AlgorithmResult(
         algorithm="bfs", framework="galois", values=distances,
@@ -145,13 +152,15 @@ def triangle_count(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
     # Sorted-merge intersections: the second list's elements are pulled
     # from cold lines with partial reuse, costlier than the native
     # bit-vector probes (Table 5's 2.5x TC gap).
-    cluster.superstep(
-        _work(streamed=8.0 * merge_reads + 8.0 * graph.num_edges,
-              random=24.0 * probes,
-              ops=4.0 * merge_reads),
-        overhead_s=_PROFILE.superstep_overhead_s,
-    )
-    cluster.mark_iteration()
+    with cluster.trace_span("sorted-merge-intersect",
+                            merge_reads=merge_reads):
+        cluster.superstep(
+            _work(streamed=8.0 * merge_reads + 8.0 * graph.num_edges,
+                  random=24.0 * probes,
+                  ops=4.0 * merge_reads),
+            overhead_s=_PROFILE.superstep_overhead_s,
+        )
+        cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="triangle_counting", framework="galois", values=count,
@@ -186,14 +195,16 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
                      8.0 * hidden_dim
                      * (ratings.num_users + ratings.num_items) / density
                      + 24.0 * count)
-    for _ in range(iterations):
-        cluster.superstep(
-            _work(streamed=0.75 * factor_bytes + 16.0 * count,
-                  random=0.25 * factor_bytes,
-                  ops=8.0 * hidden_dim * count),
-            overhead_s=_PROFILE.superstep_overhead_s,
-        )
-        cluster.mark_iteration()
+    for iteration in range(iterations):
+        with cluster.trace_span("iteration", index=iteration,
+                                method="sgd"):
+            cluster.superstep(
+                _work(streamed=0.75 * factor_bytes + 16.0 * count,
+                      random=0.25 * factor_bytes,
+                      ops=8.0 * hidden_dim * count),
+                overhead_s=_PROFILE.superstep_overhead_s,
+            )
+            cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="collaborative_filtering", framework="galois",

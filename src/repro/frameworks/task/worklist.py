@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 
 from ...errors import ReproError
+from ...observability import NULL_TRACER
 
 
 class BulkSynchronousExecutor:
@@ -33,13 +34,15 @@ class BulkSynchronousExecutor:
     state, as Algorithm 3's level check does).
     """
 
-    def __init__(self, work_fn):
+    def __init__(self, work_fn, tracer=NULL_TRACER):
         self.work_fn = work_fn
+        self.tracer = tracer
         self.rounds_executed = 0
         self.items_processed = 0
 
     def run(self, initial_items, max_rounds: int = 1_000_000) -> int:
         """Execute to quiescence; returns the number of rounds."""
+        tracer = self.tracer
         current = deque(initial_items)
         rounds = 0
         while current:
@@ -49,23 +52,29 @@ class BulkSynchronousExecutor:
                 )
             next_round = deque()
             push = next_round.append
-            for item in current:
-                self.work_fn(item, push)
-                self.items_processed += 1
+            with tracer.span("worklist-round", index=rounds,
+                             items=len(current)):
+                for item in current:
+                    self.work_fn(item, push)
+                    self.items_processed += 1
+            tracer.count("work_items", len(current))
+            tracer.advance(1.0)
             current = next_round
             rounds += 1
         self.rounds_executed = rounds
         return rounds
 
 
-def parallel_for_each(items, work_fn) -> int:
+def parallel_for_each(items, work_fn, tracer=NULL_TRACER) -> int:
     """Unordered foreach over a fixed item set; returns items processed.
 
     Sequential under the hood (this is the semantics oracle); the
     Galois front-end accounts for 24-core parallel execution separately.
     """
     count = 0
-    for item in items:
-        work_fn(item)
-        count += 1
+    with tracer.span("parallel-for-each"):
+        for item in items:
+            work_fn(item)
+            count += 1
+    tracer.count("work_items", count)
     return count

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...graph import CSRGraph
+from ...observability import NULL_TRACER
 
 
 @dataclass
@@ -78,7 +79,8 @@ class AsyncScheduler:
 
 def pagerank_delta_async(graph: CSRGraph, damping: float = 0.3,
                          tolerance: float = 1e-4,
-                         max_updates: int = None):
+                         max_updates: int = None,
+                         tracer=NULL_TRACER):
     """Asynchronous delta-PageRank to ``tolerance``.
 
     Returns ``(ranks, AsyncStats)``. Each vertex keeps its rank plus a
@@ -107,25 +109,30 @@ def pagerank_delta_async(graph: CSRGraph, damping: float = 0.3,
 
     updates = 0
     edge_operations = 0.0
-    while scheduler and updates < max_updates:
-        vertex, _ = scheduler.pop()
-        delta = residuals[vertex]
-        if delta <= tolerance:
-            continue
-        residuals[vertex] = 0.0
-        ranks[vertex] += delta
-        updates += 1
-        degree = int(out_degrees[vertex])
-        if degree == 0:
-            continue
-        edge_operations += degree
-        spread = (1.0 - damping) * delta / degree
-        neighbors = graph.neighbors(vertex)
-        residuals[neighbors] += spread
-        for neighbor in neighbors:
-            neighbor = int(neighbor)
-            if residuals[neighbor] > tolerance:
-                scheduler.push(neighbor, float(residuals[neighbor]))
+    with tracer.span("async-pagerank", tolerance=tolerance):
+        while scheduler and updates < max_updates:
+            vertex, _ = scheduler.pop()
+            delta = residuals[vertex]
+            if delta <= tolerance:
+                continue
+            residuals[vertex] = 0.0
+            ranks[vertex] += delta
+            updates += 1
+            tracer.advance(1.0)
+            degree = int(out_degrees[vertex])
+            if degree == 0:
+                continue
+            edge_operations += degree
+            spread = (1.0 - damping) * delta / degree
+            neighbors = graph.neighbors(vertex)
+            residuals[neighbors] += spread
+            for neighbor in neighbors:
+                neighbor = int(neighbor)
+                if residuals[neighbor] > tolerance:
+                    scheduler.push(neighbor, float(residuals[neighbor]))
+    if tracer.enabled:
+        tracer.count("updates", updates)
+        tracer.count("edge_operations", edge_operations)
 
     stats = AsyncStats(updates=updates, edge_operations=edge_operations,
                        max_residual=float(residuals.max(initial=0.0)))

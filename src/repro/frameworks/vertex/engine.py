@@ -24,6 +24,7 @@ from ...cluster import Cluster, ComputeWork
 from ...cluster.cost import CACHE_LINE_BYTES
 from ...errors import SimulationError
 from ...graph import CSRGraph, partition_vertex_cut, partition_vertices_1d
+from ...observability import NULL_TRACER
 from ..base import FrameworkProfile
 
 # ---------------------------------------------------------------------------
@@ -75,7 +76,8 @@ class VertexProgram:
 
 def run_vertex_program(program: VertexProgram, graph: CSRGraph,
                        max_supersteps: int = 100,
-                       collect_stats: bool = False):
+                       collect_stats: bool = False,
+                       tracer=NULL_TRACER):
     """Execute ``program`` to quiescence; returns (values, supersteps).
 
     With ``collect_stats=True`` returns ``(values, supersteps, stats)``
@@ -92,14 +94,17 @@ def run_vertex_program(program: VertexProgram, graph: CSRGraph,
         outbox = []
         compute_set = active | {v for v, msgs in inbox.items() if msgs}
         next_active = set()
-        for vertex in sorted(compute_set):
-            ctx = VertexContext(vertex, values[vertex],
-                                graph.neighbors(vertex), superstep)
-            program.compute(ctx, inbox[vertex])
-            values[vertex] = ctx.value
-            outbox.extend(ctx._outbox)
-            if not ctx._halted:
-                next_active.add(vertex)
+        with tracer.span("interpreter-superstep", index=superstep):
+            for vertex in sorted(compute_set):
+                ctx = VertexContext(vertex, values[vertex],
+                                    graph.neighbors(vertex), superstep)
+                program.compute(ctx, inbox[vertex])
+                values[vertex] = ctx.value
+                outbox.extend(ctx._outbox)
+                if not ctx._halted:
+                    next_active.add(vertex)
+        tracer.count("messages", len(outbox))
+        tracer.advance(1.0)
         stats["messages_per_superstep"].append(len(outbox))
         stats["computes_per_superstep"].append(len(compute_set))
         inbox = {v: [] for v in range(graph.num_vertices)}
@@ -241,6 +246,12 @@ class BSPEngine:
         if serialization_factor is None:
             serialization_factor = self.profile.message_overhead_factor
         traffic *= serialization_factor
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            # Counters report paper scale, like the byte totals do.
+            scale = self.cluster.scale_factor
+            tracer.count("messages", message_count * scale)
+            tracer.count("payload_bytes", payload * scale)
         return ExchangeStats(message_count, payload, traffic)
 
     def replication_sync_traffic(self, active: np.ndarray,
@@ -322,44 +333,55 @@ class BSPEngine:
 
         message_bytes_per_node = send_bytes_per_node + recv_bytes_per_node
         split_traffic = stats.traffic / splits
-        for _ in range(splits):
-            works = []
-            # Per-edge gather granularity: small values pull part of a
-            # cold line (denser state arrays -> more reuse), large vector
-            # values stream after the first line.
-            if gather_bytes_override is not None:
-                gather_bytes = gather_bytes_override
-            elif value_bytes <= CACHE_LINE_BYTES:
-                gather_bytes = min(CACHE_LINE_BYTES, 8.0 * value_bytes)
-            else:
-                gather_bytes = value_bytes
-            ops_per_edge_total = (ops_per_edge + profile.per_message_ops
-                                  + profile.per_byte_ops * value_bytes)
-            for node in range(nodes):
-                vertices = per_node_vertices[node] / splits
-                edges = edges_processed[node] / splits
-                # Vertex programs materialize a message per edge (write
-                # into the outbox, read at the target) on top of the
-                # adjacency scan — the per-edge cost native code avoids.
-                touched = (8 * edges                       # adjacency scan
-                           + 2 * value_bytes * edges       # msg write + read
-                           + value_bytes * vertices        # state update
-                           + 2 * message_bytes_per_node[node] / splits)
-                works.append(ComputeWork(
-                    streamed_bytes=touched * profile.message_overhead_factor,
-                    # Per-edge gathers of neighbor state land on cold
-                    # cache lines about half the time (graph order, not
-                    # memory order).
-                    random_bytes=0.5 * gather_bytes * edges,
-                    ops=ops_per_edge_total * edges + ops_per_vertex * vertices,
-                    cpu_efficiency=profile.cpu_efficiency,
-                    cores_fraction=profile.cores_fraction,
-                    prefetch=profile.prefetch,
-                    memory_parallelism=profile.cores_fraction,
-                ))
-            cluster.superstep(
-                works, split_traffic,
-                overlap=profile.overlaps_communication,
-                layer=profile.comm_layer,
-                overhead_s=profile.superstep_overhead_s,
-            )
+        # Vertex-cut engines execute the GAS decomposition; 1d engines a
+        # plain exchange-then-apply phase. Either way the cluster-level
+        # superstep spans nest underneath.
+        phase = "gather/apply/scatter" if self.vertex_cut is not None \
+            else "exchange-apply"
+        with cluster.tracer.span(phase, splits=splits,
+                                 messages=stats.messages,
+                                 payload_bytes=stats.payload_bytes):
+            for _ in range(splits):
+                works = []
+                # Per-edge gather granularity: small values pull part of a
+                # cold line (denser state arrays -> more reuse), large
+                # vector values stream after the first line.
+                if gather_bytes_override is not None:
+                    gather_bytes = gather_bytes_override
+                elif value_bytes <= CACHE_LINE_BYTES:
+                    gather_bytes = min(CACHE_LINE_BYTES, 8.0 * value_bytes)
+                else:
+                    gather_bytes = value_bytes
+                ops_per_edge_total = (ops_per_edge + profile.per_message_ops
+                                      + profile.per_byte_ops * value_bytes)
+                for node in range(nodes):
+                    vertices = per_node_vertices[node] / splits
+                    edges = edges_processed[node] / splits
+                    # Vertex programs materialize a message per edge (write
+                    # into the outbox, read at the target) on top of the
+                    # adjacency scan — the per-edge cost native code
+                    # avoids.
+                    touched = (8 * edges                   # adjacency scan
+                               + 2 * value_bytes * edges   # msg write + read
+                               + value_bytes * vertices    # state update
+                               + 2 * message_bytes_per_node[node] / splits)
+                    works.append(ComputeWork(
+                        streamed_bytes=(touched
+                                        * profile.message_overhead_factor),
+                        # Per-edge gathers of neighbor state land on cold
+                        # cache lines about half the time (graph order, not
+                        # memory order).
+                        random_bytes=0.5 * gather_bytes * edges,
+                        ops=(ops_per_edge_total * edges
+                             + ops_per_vertex * vertices),
+                        cpu_efficiency=profile.cpu_efficiency,
+                        cores_fraction=profile.cores_fraction,
+                        prefetch=profile.prefetch,
+                        memory_parallelism=profile.cores_fraction,
+                    ))
+                cluster.superstep(
+                    works, split_traffic,
+                    overlap=profile.overlaps_communication,
+                    layer=profile.comm_layer,
+                    overhead_s=profile.superstep_overhead_s,
+                )

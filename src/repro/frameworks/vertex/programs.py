@@ -104,25 +104,26 @@ def pagerank_vertex(graph: CSRGraph, cluster: Cluster,
     edges_per_node = np.bincount(engine.vertex_owner[graph.sources()],
                                  minlength=cluster.num_nodes).astype(float)
 
-    for _ in range(iterations):
-        if engine.vertex_cut is not None:
-            traffic = engine.replication_sync_traffic(all_vertices,
-                                                      _PR_MESSAGE_BYTES)
-            stats = ExchangeStats(messages=float(traffic.sum() / 8.0),
-                                  payload_bytes=float(traffic.sum()),
-                                  traffic=traffic)
-        else:
-            stats = engine.edge_messages(all_vertices, _PR_MESSAGE_BYTES)
+    for iteration in range(iterations):
+        with cluster.trace_span("iteration", index=iteration):
+            if engine.vertex_cut is not None:
+                traffic = engine.replication_sync_traffic(all_vertices,
+                                                          _PR_MESSAGE_BYTES)
+                stats = ExchangeStats(messages=float(traffic.sum() / 8.0),
+                                      payload_bytes=float(traffic.sum()),
+                                      traffic=traffic)
+            else:
+                stats = engine.edge_messages(all_vertices, _PR_MESSAGE_BYTES)
 
-        contributions = np.where(out_degrees > 0, ranks / safe, 0.0)
-        per_edge = np.repeat(contributions, out_degrees)
-        gathered = np.bincount(graph.targets, weights=per_edge,
-                               minlength=num_vertices)
-        ranks = damping + (1.0 - damping) * gathered
+            contributions = np.where(out_degrees > 0, ranks / safe, 0.0)
+            per_edge = np.repeat(contributions, out_degrees)
+            gathered = np.bincount(graph.targets, weights=per_edge,
+                                   minlength=num_vertices)
+            ranks = damping + (1.0 - damping) * gathered
 
-        engine.superstep(all_vertices, edges_per_node, stats,
-                         _PR_MESSAGE_BYTES)
-        cluster.mark_iteration()
+            engine.superstep(all_vertices, edges_per_node, stats,
+                             _PR_MESSAGE_BYTES)
+            cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="pagerank", framework=profile.name, values=ranks,
@@ -146,31 +147,38 @@ def bfs_vertex(graph: CSRGraph, cluster: Cluster, profile: FrameworkProfile,
     frontier_sizes = [1]
     level = 0
 
+    tracer = cluster.tracer
+    tracer.count("frontier_size", 1)          # the source vertex
     while frontier.size:
         level += 1
-        stats = engine.edge_messages(frontier, _BFS_MESSAGE_BYTES)
-        if engine.vertex_cut is not None:
-            # GAS: the wire carries mirror sync, not per-edge messages.
-            local = np.diag(np.diag(stats.traffic))
-            stats.traffic = local + engine.replication_sync_traffic(
-                frontier, _BFS_MESSAGE_BYTES
+        with cluster.trace_span("level", index=level,
+                                frontier=int(frontier.size)):
+            stats = engine.edge_messages(frontier, _BFS_MESSAGE_BYTES)
+            if engine.vertex_cut is not None:
+                # GAS: the wire carries mirror sync, not per-edge messages.
+                local = np.diag(np.diag(stats.traffic))
+                stats.traffic = local + engine.replication_sync_traffic(
+                    frontier, _BFS_MESSAGE_BYTES
+                )
+
+            neighbors, _ = graph.neighbors_of_many(frontier)
+            candidates = np.unique(neighbors)
+            fresh = candidates[distances[candidates] == UNREACHED]
+            distances[fresh] = level
+
+            edges_per_node = np.bincount(
+                engine.vertex_owner[frontier],
+                weights=out_degrees[frontier].astype(float),
+                minlength=cluster.num_nodes,
             )
-
-        neighbors, _ = graph.neighbors_of_many(frontier)
-        candidates = np.unique(neighbors)
-        fresh = candidates[distances[candidates] == UNREACHED]
-        distances[fresh] = level
-
-        edges_per_node = np.bincount(
-            engine.vertex_owner[frontier],
-            weights=out_degrees[frontier].astype(float),
-            minlength=cluster.num_nodes,
-        )
-        engine.superstep(frontier, edges_per_node, stats, _BFS_MESSAGE_BYTES)
-        cluster.mark_iteration()
+            engine.superstep(frontier, edges_per_node, stats,
+                             _BFS_MESSAGE_BYTES)
+            cluster.mark_iteration()
 
         frontier = fresh
         frontier_sizes.append(int(fresh.size))
+        if fresh.size:
+            tracer.count("frontier_size", int(fresh.size))
 
     return AlgorithmResult(
         algorithm="bfs", framework=profile.name, values=distances,
@@ -212,10 +220,12 @@ def triangle_vertex(graph: CSRGraph, cluster: Cluster,
     np.add.at(probe_edges, dst_owner, degrees[graph.sources()].astype(float))
     ops_per_edge = 10.0 if use_cuckoo else 14.0
 
-    engine.superstep(senders, probe_edges, stats, 8.0,
-                     splits=superstep_splits, ops_per_edge=ops_per_edge,
-                     gather_bytes_override=24.0)
-    cluster.mark_iteration()
+    with cluster.trace_span("neighborhood-exchange",
+                            payload_bytes=stats.payload_bytes):
+        engine.superstep(senders, probe_edges, stats, 8.0,
+                         splits=superstep_splits, ops_per_edge=ops_per_edge,
+                         gather_bytes_override=24.0)
+        cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="triangle_counting", framework=profile.name, values=count,
@@ -285,7 +295,11 @@ def cf_gd_vertex(ratings: RatingsMatrix, cluster: Cluster,
     items = np.arange(ratings.num_items, dtype=np.int64) + ratings.num_users
     out_degrees = graph.out_degrees()
 
-    def _phase(senders):
+    def _phase(senders, direction):
+        with cluster.trace_span("phase", direction=direction):
+            _phase_body(senders)
+
+    def _phase_body(senders):
         stats = engine.edge_messages(senders, value_bytes,
                                      combine=combine_messages)
         combining = combine_messages if combine_messages is not None \
@@ -314,14 +328,15 @@ def cf_gd_vertex(ratings: RatingsMatrix, cluster: Cluster,
 
     rmse_curve = []
     gamma = gamma0
-    for _ in range(iterations):
-        _phase(users)
-        _phase(items)
-        gd_step(csr, csr_t, user_degrees, item_degrees,
-                p_factors, q_factors, gamma, lambda_reg, lambda_reg)
-        gamma *= step_decay
-        rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
-        cluster.mark_iteration()
+    for iteration in range(iterations):
+        with cluster.trace_span("iteration", index=iteration):
+            _phase(users, "users->items")
+            _phase(items, "items->users")
+            gd_step(csr, csr_t, user_degrees, item_degrees,
+                    p_factors, q_factors, gamma, lambda_reg, lambda_reg)
+            gamma *= step_decay
+            rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
+            cluster.mark_iteration()
 
     return AlgorithmResult(
         algorithm="collaborative_filtering", framework=profile.name,

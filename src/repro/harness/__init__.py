@@ -18,6 +18,7 @@ from .runner import (
     STATUS_OOM,
     STATUS_UNSUPPORTED,
     RunResult,
+    default_params,
     run_experiment,
 )
 from .strong_scaling import parallel_efficiency, strong_scaling
@@ -38,6 +39,7 @@ __all__ = [
     "STATUS_OK",
     "STATUS_OOM",
     "STATUS_UNSUPPORTED",
+    "default_params",
     "figure3",
     "figure4",
     "figure5",

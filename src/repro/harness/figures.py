@@ -134,7 +134,7 @@ def figure6(frameworks=MULTI_FRAMEWORKS, algorithms=ALGORITHMS,
             run = run_experiment(algorithm, name, data, nodes=nodes,
                                  scale_factor=factor, enforce_memory=False,
                                  **params)
-            raw[name] = run.metrics() if run.ok else None
+            raw[name] = run.metrics_or_none()
 
         giraph_bytes = None
         if raw.get("giraph") is not None:

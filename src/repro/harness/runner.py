@@ -1,15 +1,20 @@
 """Experiment runner: one (algorithm, framework, dataset, nodes) cell.
 
-Wraps the registry runners with the cluster construction, paper-scale
-extrapolation factor, and failure classification: out-of-memory and
-expressibility failures are *results* in this paper (CombBLAS's Twitter
-triangle counting OOM, Galois's missing multi-node support), not crashes,
-so they come back as statuses instead of exceptions.
+This is the single front door to the study. :func:`run_experiment` wraps
+the registry runners with cluster construction, the paper-scale
+extrapolation factor, per-algorithm default parameters
+(:func:`default_params`), optional flight-recorder tracing, and failure
+classification: out-of-memory and expressibility failures are *results*
+in this paper (CombBLAS's Twitter triangle counting OOM, Galois's
+missing multi-node support), not crashes, so they come back as statuses
+instead of exceptions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..algorithms.registry import runner as _lookup
 from ..cluster import Cluster, paper_cluster
@@ -19,6 +24,43 @@ from ..frameworks.results import AlgorithmResult
 STATUS_OK = "ok"
 STATUS_OOM = "out-of-memory"
 STATUS_UNSUPPORTED = "unsupported"
+
+
+def default_params(algorithm: str, dataset=None) -> dict:
+    """The harness's standard parameters for one algorithm.
+
+    The one place that encodes how the study configures each workload:
+    PageRank and CF iteration counts (runtimes are compared per
+    iteration, so a few suffice), the CF hidden dimension, and the
+    Graph500-style BFS source — the highest-out-degree vertex, because a
+    random id can land on an isolated vertex and trivialize the run.
+    """
+    from .datasets import HARNESS_HIDDEN_DIM, HARNESS_ITERATIONS
+
+    if algorithm == "pagerank":
+        return {"iterations": HARNESS_ITERATIONS}
+    if algorithm == "collaborative_filtering":
+        return {"iterations": 2, "hidden_dim": HARNESS_HIDDEN_DIM}
+    if algorithm == "bfs" and dataset is not None:
+        return {"source": int(np.argmax(dataset.out_degrees()))}
+    return {}
+
+
+def _json_safe(value):
+    """Recursively convert numpy containers/scalars for json.dump."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
 
 
 @dataclass
@@ -32,48 +74,93 @@ class RunResult:
     result: AlgorithmResult = None
     failure: str = ""
     config: dict = field(default_factory=dict)
+    trace = None      # the Tracer passed to run_experiment, if any
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
-    def runtime(self) -> float:
-        """The paper's comparison number (time/iter or total), seconds."""
+    def _require_ok(self, what: str) -> None:
         if not self.ok:
             raise ReproError(
-                f"{self.framework}/{self.algorithm} did not complete: "
-                f"{self.status} ({self.failure})"
+                f"{self.framework}/{self.algorithm} did not complete, so "
+                f"{what} is unavailable: {self.status} ({self.failure})"
             )
+
+    def runtime(self) -> float:
+        """The paper's comparison number (time/iter or total), seconds."""
+        self._require_ok("a runtime")
         return self.result.runtime_for_comparison()
 
+    def runtime_or_none(self):
+        """Like :meth:`runtime`, but ``None`` for failed runs."""
+        return self.result.runtime_for_comparison() if self.ok else None
+
     def metrics(self):
+        """The run's :class:`RunMetrics`; raises on failed runs.
+
+        Mirrors :meth:`runtime` — both raise on failure, both have an
+        ``_or_none`` variant for callers that tabulate failures.
+        """
+        self._require_ok("metrics")
+        return self.result.metrics
+
+    def metrics_or_none(self):
+        """Like :meth:`metrics`, but ``None`` for failed runs."""
         return self.result.metrics if self.ok else None
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary of the cell (for ``--json`` output)."""
+        out = {
+            "algorithm": self.algorithm,
+            "framework": self.framework,
+            "nodes": self.nodes,
+            "status": self.status,
+            "config": _json_safe(self.config),
+        }
+        if self.failure:
+            out["failure"] = self.failure
+        if self.ok:
+            out["runtime_s"] = self.result.runtime_for_comparison()
+            out["result"] = self.result.to_dict()
+        return out
 
 
 def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
                    scale_factor: float = 1.0, enforce_memory: bool = True,
-                   **params) -> RunResult:
+                   trace=None, **params) -> RunResult:
     """Run one cell of the study on a fresh simulated cluster.
 
     ``scale_factor`` is paper size / proxy size; it extrapolates the
     counted work, traffic and memory to the paper's dataset sizes.
+    Unspecified algorithm parameters fall back to
+    :func:`default_params`. Pass ``trace=Tracer()`` to flight-record the
+    run; the tracer comes back on ``RunResult.trace`` with every span
+    and counter the execution stack emitted.
     """
     run = _lookup(algorithm, framework)
+    merged = dict(default_params(algorithm, dataset))
+    merged.update(params)
     cluster = Cluster(paper_cluster(nodes), scale_factor=scale_factor,
-                      enforce_memory=enforce_memory)
-    config = {"nodes": nodes, "scale_factor": scale_factor, **params}
-    try:
-        result = run(dataset, cluster, **params)
-    except CapacityError as error:
-        return RunResult(algorithm, framework, nodes, STATUS_OOM,
-                         failure=str(error), config=config)
-    except ExpressibilityError as error:
-        return RunResult(algorithm, framework, nodes, STATUS_UNSUPPORTED,
-                         failure=str(error), config=config)
-    except ReproError as error:
-        if "single-node" in str(error):
-            return RunResult(algorithm, framework, nodes, STATUS_UNSUPPORTED,
-                             failure=str(error), config=config)
-        raise
-    return RunResult(algorithm, framework, nodes, STATUS_OK, result=result,
-                     config=config)
+                      enforce_memory=enforce_memory, tracer=trace)
+    config = {"nodes": nodes, "scale_factor": scale_factor, **merged}
+
+    def _finish(status, result=None, failure=""):
+        cell = RunResult(algorithm, framework, nodes, status, result=result,
+                         failure=failure, config=config)
+        cell.trace = cluster.tracer if trace is not None else None
+        return cell
+
+    with cluster.trace_span("run", algorithm=algorithm,
+                            framework=framework, nodes=nodes):
+        try:
+            result = run(dataset, cluster, **merged)
+        except CapacityError as error:
+            return _finish(STATUS_OOM, failure=str(error))
+        except ExpressibilityError as error:
+            return _finish(STATUS_UNSUPPORTED, failure=str(error))
+        except ReproError as error:
+            if "single-node" in str(error):
+                return _finish(STATUS_UNSUPPORTED, failure=str(error))
+            raise
+    return _finish(STATUS_OK, result=result)

@@ -15,14 +15,12 @@ from ..datagen import CATALOG, rmat_graph, rmat_triangle_graph, \
     netflix_like_ratings
 from ..frameworks.base import PROFILES
 from .datasets import (
-    HARNESS_HIDDEN_DIM,
-    HARNESS_ITERATIONS,
     paper_scale_factor,
     single_node_graph,
     single_node_ratings,
     weak_scaling_dataset,
 )
-from .runner import run_experiment
+from .runner import default_params, run_experiment
 
 #: Frameworks of the headline comparison, in the paper's column order.
 TABLE_FRAMEWORKS = ("combblas", "graphlab", "socialite", "giraph", "galois")
@@ -67,16 +65,7 @@ def _single_node_dataset(algorithm: str, name: str):
 
 
 def _params(algorithm: str, data=None) -> dict:
-    if algorithm == "pagerank":
-        return {"iterations": HARNESS_ITERATIONS}
-    if algorithm == "collaborative_filtering":
-        return {"iterations": 2, "hidden_dim": HARNESS_HIDDEN_DIM}
-    if algorithm == "bfs" and data is not None:
-        # Search from a high-degree vertex in the giant component, as
-        # Graph500 prescribes — a random id can land on an isolated
-        # vertex and trivialize the run.
-        return {"source": int(np.argmax(data.out_degrees()))}
-    return {}
+    return default_params(algorithm, data)
 
 
 def _geomean(values) -> float:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster import Cluster, paper_cluster
+from repro.cluster import paper_cluster
 from repro.cluster.timeline import analyze, render_timeline
 from repro.datagen import rmat_graph
 from repro.frameworks.vertex.async_engine import (

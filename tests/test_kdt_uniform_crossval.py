@@ -151,7 +151,6 @@ class TestInterpreterCrossValidation:
         distances = bfs_reference(graph, source)
         # Superstep s computes exactly the vertices that receive messages
         # plus initial actives: bounded below by the true frontier size.
-        from repro.algorithms.bfs import UNREACHED
         for level in range(min(supersteps, 4)):
             frontier = int((distances == level).sum())
             assert stats["computes_per_superstep"][level] >= frontier

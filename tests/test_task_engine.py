@@ -17,7 +17,7 @@ from repro.frameworks.task import (
     galois,
     parallel_for_each,
 )
-from repro.graph import CSRGraph, EdgeList
+from repro.graph import EdgeList
 
 
 @pytest.fixture(scope="module")
