@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..errors import ExpressibilityError, ReproError
 from ..frameworks import native
+from ..frameworks.base import PROFILES, FrameworkProfile
 from ..frameworks.datalog import socialite
 from ..frameworks.matrix import combblas, kdt
 from ..frameworks.task import galois
@@ -85,6 +86,27 @@ _RUNNERS = {
     ("triangle_counting", "graphx"): graphx.triangle_count,
     ("collaborative_filtering", "graphx"): graphx.collaborative_filtering,
 }
+
+
+#: Profiles for the Section 7 systems, which live next to their engines
+#: rather than in the base table. KDT executes through CombBLAS, so its
+#: cluster-facing behaviour (including fault handling) is CombBLAS's.
+_EXTRA_PROFILES = {
+    "gps": gps.GPS,
+    "graphx": graphx.GRAPHX,
+    "kdt": PROFILES["combblas"],
+}
+
+
+def profile_for(framework: str) -> FrameworkProfile:
+    """The :class:`FrameworkProfile` a registry framework runs under."""
+    if framework in _EXTRA_PROFILES:
+        return _EXTRA_PROFILES[framework]
+    if framework in PROFILES:
+        return PROFILES[framework]
+    raise ReproError(
+        f"unknown framework {framework!r}; known: {FRAMEWORKS}"
+    )
 
 
 def runner(algorithm: str, framework: str):

@@ -1,0 +1,48 @@
+"""Deterministic fault injection + recovery protocols (``repro.chaos``).
+
+The measurable fault-tolerance axis of the study: seeded
+:class:`FaultSchedule` objects describe node crashes, stragglers,
+latency spikes, partitions and probabilistic message loss; per-framework
+:class:`RecoveryPolicy` objects describe what surviving them costs
+(Giraph-style checkpoint/replay vs native fail-fast). The simulated
+cluster consults both every superstep — same workload, fault schedule
+on or off, recovery overhead read straight off the trace.
+"""
+
+from .faults import (
+    FaultSchedule,
+    LatencySpike,
+    LinkDisruption,
+    MessageCorruption,
+    MessageDrop,
+    NetworkPartition,
+    NodeCrash,
+    StepFaults,
+    StragglerNode,
+)
+from .recovery import (
+    FAIL_FAST,
+    RecoveryPolicy,
+    RecoveryStats,
+    RetryPolicy,
+    checkpointing,
+    policy_for_profile,
+)
+
+__all__ = [
+    "FAIL_FAST",
+    "FaultSchedule",
+    "LatencySpike",
+    "LinkDisruption",
+    "MessageCorruption",
+    "MessageDrop",
+    "NetworkPartition",
+    "NodeCrash",
+    "RecoveryPolicy",
+    "RecoveryStats",
+    "RetryPolicy",
+    "StepFaults",
+    "StragglerNode",
+    "checkpointing",
+    "policy_for_profile",
+]

@@ -1,0 +1,156 @@
+"""Recovery protocols: what a framework does when a fault fires.
+
+The paper's fault-tolerance axis (Sections 5-6): Giraph inherits
+Hadoop's checkpoint/superstep machinery and *survives* node loss — at
+the price of periodic checkpoint writes and replay on recovery — while
+the native baselines, GraphLab and Galois trade that away and simply
+die. A :class:`RecoveryPolicy` encodes that choice per framework:
+
+* ``mode="checkpoint"`` — every ``checkpoint_interval`` supersteps the
+  cluster writes per-node state to simulated disk (measured write
+  cost); a crashed node restores from the last checkpoint and the clock
+  charges detection timeout + restore read + replay of every superstep
+  since the checkpoint;
+* ``mode="fail-fast"`` — a crash raises the typed
+  :class:`~repro.errors.NodeFailure`;
+* either mode retries *transient* faults (drops, corruption,
+  partitions) with exponential backoff via :class:`RetryPolicy`.
+
+:class:`RecoveryStats` is the measurable outcome — checkpoint, restore,
+replay and retry seconds plus fault counts — surfaced on
+``RunResult.recovery`` and mirrored as spans/counters in the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient faults."""
+
+    max_attempts: int = 5
+    base_backoff_s: float = 0.05
+    multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.multiplier < 1.0:
+            raise ValueError("backoff must be >= 0 and multiplier >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based)."""
+        return self.base_backoff_s * self.multiplier ** (attempt - 1)
+
+    def total_backoff_s(self) -> float:
+        """Worst-case stall: every attempt's backoff, summed."""
+        return sum(self.backoff_s(attempt)
+                   for attempt in range(1, self.max_attempts + 1))
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """One framework's answer to faults."""
+
+    mode: str = "fail-fast"            # "fail-fast" | "checkpoint"
+    #: Supersteps between checkpoints (0 = never checkpoint; a crash
+    #: under mode="checkpoint" then replays from the start).
+    checkpoint_interval: int = 0
+    #: Fixed cost per checkpoint (HDFS sync, job bookkeeping), seconds.
+    checkpoint_overhead_s: float = 0.0
+    #: Heartbeat timeout before a dead node is declared failed.
+    detect_timeout_s: float = 1.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self):
+        if self.mode not in ("fail-fast", "checkpoint"):
+            raise ValueError(f"unknown recovery mode {self.mode!r}")
+        if self.checkpoint_interval < 0 or self.checkpoint_overhead_s < 0 \
+                or self.detect_timeout_s < 0:
+            raise ValueError("recovery costs must be non-negative")
+
+    @property
+    def recovers_crashes(self) -> bool:
+        return self.mode == "checkpoint"
+
+    def checkpoint_due(self, superstep: int) -> bool:
+        """True when a checkpoint is written at this superstep's barrier."""
+        return (self.checkpoint_interval > 0 and superstep > 0
+                and superstep % self.checkpoint_interval == 0)
+
+
+#: The native/GraphLab/Galois answer: no fault tolerance at all.
+FAIL_FAST = RecoveryPolicy()
+
+
+def checkpointing(interval: int = 2, overhead_s: float = 0.5,
+                  detect_timeout_s: float = 1.0,
+                  retry: RetryPolicy = None) -> RecoveryPolicy:
+    """A Giraph/Hadoop-style every-N-supersteps checkpoint policy."""
+    return RecoveryPolicy(mode="checkpoint", checkpoint_interval=interval,
+                          checkpoint_overhead_s=overhead_s,
+                          detect_timeout_s=detect_timeout_s,
+                          retry=retry if retry is not None else RetryPolicy())
+
+
+def policy_for_profile(profile) -> RecoveryPolicy:
+    """The :class:`RecoveryPolicy` a framework profile opts into.
+
+    Profiles carry ``fault_policy`` / ``checkpoint_interval`` /
+    ``checkpoint_overhead_s`` fields (see
+    :class:`repro.frameworks.base.FrameworkProfile`); unknown or
+    profile-less frameworks default to fail-fast.
+    """
+    if profile is None or getattr(profile, "fault_policy",
+                                  "fail-fast") != "checkpoint":
+        return FAIL_FAST
+    return checkpointing(interval=profile.checkpoint_interval,
+                         overhead_s=profile.checkpoint_overhead_s)
+
+
+@dataclass
+class RecoveryStats:
+    """What surviving the fault schedule cost one run."""
+
+    faults_injected: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    checkpoints_written: int = 0
+    checkpoint_bytes: float = 0.0
+    checkpoint_time_s: float = 0.0
+    restore_time_s: float = 0.0
+    replay_time_s: float = 0.0
+    recovery_time_s: float = 0.0       # detect + restore + replay, total
+    retry_time_s: float = 0.0          # transient-fault backoff stalls
+    messages_dropped: int = 0
+    messages_corrupted: int = 0
+    retransmitted_bytes: float = 0.0
+    events: list = field(default_factory=list)    # the fault timeline
+
+    @property
+    def total_overhead_s(self) -> float:
+        """Every second the schedule (and surviving it) added."""
+        return self.checkpoint_time_s + self.recovery_time_s \
+            + self.retry_time_s
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (for ``RunResult.to_dict``)."""
+        return {
+            "faults_injected": self.faults_injected,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_time_s": self.checkpoint_time_s,
+            "restore_time_s": self.restore_time_s,
+            "replay_time_s": self.replay_time_s,
+            "recovery_time_s": self.recovery_time_s,
+            "retry_time_s": self.retry_time_s,
+            "total_overhead_s": self.total_overhead_s,
+            "messages_dropped": self.messages_dropped,
+            "messages_corrupted": self.messages_corrupted,
+            "retransmitted_bytes": self.retransmitted_bytes,
+            "events": list(self.events),
+        }

@@ -4,6 +4,8 @@ Commands:
 
 * ``run`` — one experiment cell: algorithm x framework x dataset x nodes;
 * ``trace`` — run one cell with the flight recorder and export the trace;
+* ``chaos`` — run one cell fault-free and under a ``--faults`` schedule,
+  and report what surviving the faults cost;
 * ``table N`` / ``figure N`` — regenerate one paper artifact;
 * ``datasets`` — list the catalog and proxy sizes;
 * ``frameworks`` — list frameworks and their profiles;
@@ -33,6 +35,9 @@ def _run_cell(args, trace=None):
     if args.algorithm == "collaborative_filtering" \
             and args.hidden_dim is not None:
         params["hidden_dim"] = args.hidden_dim
+    if getattr(args, "faults", None):
+        params["faults"] = args.faults
+        params["fault_seed"] = args.fault_seed
     return run_experiment(args.algorithm, args.framework, data,
                           nodes=args.nodes, scale_factor=args.scale_factor,
                           trace=trace, **params)
@@ -50,6 +55,14 @@ def _print_run(result) -> None:
     print(f"memory footprint   : "
           f"{metrics.memory_footprint_bytes / 2**30:.2f} GiB/node")
     print(f"bound by           : {metrics.bound_by()}")
+    if result.recovery is not None:
+        stats = result.recovery
+        print(f"faults injected    : {stats.faults_injected} "
+              f"({stats.crashes} crashes, {stats.recoveries} recovered)")
+        print(f"fault overhead     : {stats.total_overhead_s:.4f} s "
+              f"(checkpoint {stats.checkpoint_time_s:.4f}, "
+              f"recovery {stats.recovery_time_s:.4f}, "
+              f"retry {stats.retry_time_s:.4f})")
 
 
 def _cmd_run(args) -> int:
@@ -94,6 +107,72 @@ def _cmd_trace(args) -> int:
         if args.csv:
             print(f"wrote per-superstep CSV to {args.csv}")
     return 0 if result.ok else 1
+
+
+def _cmd_chaos(args) -> int:
+    """Same cell twice — fault-free, then under the schedule — and diff."""
+    from .errors import NodeFailure
+
+    faults, seed = args.faults, args.fault_seed
+    args.faults = None
+    baseline = _run_cell(args)
+    args.faults, args.fault_seed = faults, seed
+    try:
+        chaos = _run_cell(args)
+    except NodeFailure as failure:
+        if args.json:
+            print(json.dumps({
+                "baseline": baseline.to_dict(),
+                "faults": faults,
+                "fault_seed": seed,
+                "status": "node-failure",
+                "node": failure.node,
+                "superstep": failure.superstep,
+            }, indent=2))
+        else:
+            print(f"schedule    : {faults} (seed {seed})")
+            print(f"baseline    : {baseline.metrics().total_time_s:.4f} s")
+            print(f"chaos run   : FAILED — {failure}")
+            print(f"              ({args.framework} runs fail-fast; pick a "
+                  "checkpointing framework to survive crashes)")
+        return 1
+    if args.json:
+        print(json.dumps({"baseline": baseline.to_dict(),
+                          "chaos": chaos.to_dict()}, indent=2))
+        return 0 if chaos.ok else 1
+    if not chaos.ok or not baseline.ok:
+        failed = baseline if not baseline.ok else chaos
+        print(f"status: {failed.status} ({failed.failure})")
+        return 1
+    stats = chaos.recovery
+    # Total wall clock, not time/iteration: the overhead lines below are
+    # whole-run seconds and the ratio must be read against them.
+    clean_s = baseline.metrics().total_time_s
+    chaos_s = chaos.metrics().total_time_s
+    print(f"schedule    : {chaos.config['faults']} (seed {seed})")
+    print(f"baseline    : {clean_s:.4f} s")
+    print(f"under faults: {chaos_s:.4f} s "
+          f"({chaos_s / max(clean_s, 1e-18):.2f}x)")
+    print(f"faults      : {stats.faults_injected} injected, "
+          f"{stats.crashes} crashes, {stats.recoveries} recovered")
+    if stats.messages_dropped or stats.messages_corrupted:
+        print(f"messages    : {stats.messages_dropped} dropped, "
+              f"{stats.messages_corrupted} corrupted "
+              f"({stats.retransmitted_bytes / 1e6:.1f} MB retransmitted)")
+    print(f"checkpoints : {stats.checkpoints_written} written "
+          f"({stats.checkpoint_bytes / 2**30:.2f} GiB, "
+          f"{stats.checkpoint_time_s:.4f} s)")
+    print(f"overhead    : {stats.total_overhead_s:.4f} s total "
+          f"(recovery {stats.recovery_time_s:.4f}, "
+          f"retry {stats.retry_time_s:.4f})")
+    if stats.events:
+        print("timeline    :")
+        for event in stats.events:
+            attrs = ", ".join(f"{key}={value}" for key, value in event.items()
+                              if key not in ("kind", "superstep"))
+            print(f"  step {event.get('superstep', '?'):>3}  "
+                  f"{event['kind']:<14} {attrs}")
+    return 0
 
 
 def _cmd_table(args) -> int:
@@ -221,16 +300,32 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--json", action="store_true",
                              help="print the result as JSON")
 
+    def _fault_arguments(command, required=False):
+        command.add_argument(
+            "--faults", required=required, default=None,
+            help="fault schedule spec, e.g. "
+                 "'crash(node=2, superstep=3); drop(p=0.01)'")
+        command.add_argument("--fault-seed", type=int, default=0,
+                             help="seed for probabilistic faults")
+
     run = sub.add_parser("run", help="run one experiment cell")
     _cell_arguments(run)
+    _fault_arguments(run)
     run.set_defaults(func=_cmd_run)
 
     trace = sub.add_parser(
         "trace", help="flight-record one cell and export the trace")
     _cell_arguments(trace, positional_dataset=True)
+    _fault_arguments(trace)
     trace.add_argument("--out", help="write Chrome trace_event JSON here")
     trace.add_argument("--csv", help="write per-superstep CSV here")
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="compare one cell fault-free vs under a fault schedule")
+    _cell_arguments(chaos)
+    _fault_arguments(chaos, required=True)
+    chaos.set_defaults(func=_cmd_chaos)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int)
@@ -280,10 +375,17 @@ def _cmd_report(args) -> int:
 
 
 def main(argv=None) -> int:
+    from .errors import NodeFailure
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except NodeFailure as failure:
+        # A --faults crash on a fail-fast framework: a typed outcome of
+        # the experiment, not a bug — report it like one.
+        print(f"node failure: {failure}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0

@@ -38,6 +38,10 @@ class NodeSpec:
     random_bandwidth: float = 10e9
     #: Peak per-node injection bandwidth of the FDR InfiniBand fabric.
     link_bandwidth: float = 5.5e9
+    #: Sequential bandwidth of the node's checkpoint disk (HDFS-class
+    #: spinning storage of the paper's era). Only exercised by recovery
+    #: protocols writing/restoring checkpoints (repro.chaos).
+    disk_bandwidth: float = 200e6
 
     @property
     def hardware_threads(self) -> int:

@@ -95,6 +95,8 @@ class TrafficReport:
     bytes_out: np.ndarray           # wire bytes sent per node
     bytes_in: np.ndarray            # wire bytes received per node
     peak_bandwidth: float           # bytes/s while transferring
+    #: Fault counters from an injected LinkDisruption, None when clean.
+    faults: dict = None
 
     @property
     def total_bytes(self) -> float:
@@ -118,7 +120,16 @@ class Fabric:
         self.num_nodes = num_nodes
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
-    def exchange(self, traffic: np.ndarray, layer: CommLayer) -> TrafficReport:
+    def exchange(self, traffic: np.ndarray, layer: CommLayer,
+                 disruption=None) -> TrafficReport:
+        """One bulk exchange; ``disruption`` injects network faults.
+
+        A :class:`~repro.chaos.LinkDisruption` (chaos runs only) may
+        retransmit dropped/corrupted transfers (their wire bytes count
+        twice), stall senders for retry backoff, and congest the layer —
+        latency x factor, sustained bandwidth / factor — while a latency
+        spike is active.
+        """
         traffic = np.asarray(traffic, dtype=np.float64)
         if traffic.shape != (self.num_nodes, self.num_nodes):
             raise SimulationError(
@@ -130,14 +141,26 @@ class Fabric:
 
         wire = layer.wire_bytes(traffic.copy())
         np.fill_diagonal(wire, 0.0)
+        latency = layer.latency_s
+        bandwidth = layer.sustained_bandwidth(self.node)
+        peak_limit = layer.effective_bandwidth(self.node)
+        stall = None
+        fault_info = None
+        if disruption is not None:
+            wire, stall, fault_info = disruption.apply(wire)
+            latency *= disruption.latency_factor
+            bandwidth /= disruption.latency_factor
+            peak_limit /= disruption.latency_factor
         bytes_out = wire.sum(axis=1)
         bytes_in = wire.sum(axis=0)
-        bandwidth = layer.sustained_bandwidth(self.node)
         volume = np.maximum(bytes_out, bytes_in)
-        comm_times = np.where(volume > 0, volume / bandwidth + layer.latency_s, 0.0)
-        peak = layer.effective_bandwidth(self.node) if volume.max() > 0 else 0.0
+        comm_times = np.where(volume > 0, volume / bandwidth + latency, 0.0)
+        if stall is not None:
+            comm_times = comm_times + stall
+        peak = peak_limit if volume.max() > 0 else 0.0
         total = float(bytes_out.sum())
         if total > 0:
             self.tracer.count("bytes_sent", total)
         return TrafficReport(comm_times=comm_times, bytes_out=bytes_out,
-                             bytes_in=bytes_in, peak_bandwidth=peak)
+                             bytes_in=bytes_in, peak_bandwidth=peak,
+                             faults=fault_info)

@@ -22,7 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..chaos.recovery import FAIL_FAST, RecoveryStats
+from ..errors import NodeFailure, SimulationError
 from ..observability import NULL_TRACER
 from .cost import ComputeWork, CostModel
 from .hardware import ClusterSpec
@@ -47,7 +48,7 @@ class Cluster:
 
     def __init__(self, spec: ClusterSpec, comm_layer: CommLayer = MPI,
                  scale_factor: float = 1.0, enforce_memory: bool = True,
-                 tracer=None):
+                 tracer=None, faults=None, recovery=None):
         if scale_factor <= 0:
             raise SimulationError("scale_factor must be positive")
         self.spec = spec
@@ -65,6 +66,19 @@ class Cluster:
         self._steps = 0
         self._iteration_started_at = 0.0
         self._metrics = RunMetrics(num_nodes=spec.num_nodes)
+        # -- chaos: fault schedule + recovery protocol ---------------------
+        # ``faults`` is a repro.chaos.FaultSchedule (or None: the happy
+        # path, with zero chaos overhead). ``recovery`` is the framework's
+        # RecoveryPolicy; with faults but no policy the cluster fails fast.
+        self.faults = faults
+        if recovery is None and faults is not None:
+            recovery = FAIL_FAST
+        self.recovery = recovery
+        if faults is not None:
+            faults.validate(spec.num_nodes)
+        self._recovery_stats = RecoveryStats()
+        self._since_checkpoint_s = 0.0
+        self._checkpoint_state_bytes = 0.0   # per-node max, paper scale
 
     # -- basic accessors -----------------------------------------------------
 
@@ -123,15 +137,27 @@ class Cluster:
         if overhead_s < 0:
             raise SimulationError("overhead_s must be non-negative")
         layer = layer or self.comm_layer
+        step_index = self._steps
+        step_faults = None
+        if self.faults is not None:
+            retry = self.recovery.retry if self.recovery is not None else None
+            step_faults = self.faults.at(step_index, self.num_nodes, retry)
+        if self.recovery is not None \
+                and self.recovery.checkpoint_due(step_index):
+            self._write_checkpoint(step_index)
         work = self._normalize_work(work)
         compute_times = np.array(
             [self.cost.compute_time(w.scaled(self.scale_factor)) for w in work]
         )
+        if step_faults is not None and step_faults.compute_factors is not None:
+            compute_times = compute_times * step_faults.compute_factors
 
         if traffic is None:
             traffic = np.zeros((self.num_nodes, self.num_nodes))
         report = self.fabric.exchange(
-            np.asarray(traffic, dtype=np.float64) * self.scale_factor, layer
+            np.asarray(traffic, dtype=np.float64) * self.scale_factor, layer,
+            disruption=step_faults.disruption if step_faults is not None
+            else None,
         )
 
         node_times = np.array([
@@ -193,8 +219,102 @@ class Cluster:
         else:
             self._elapsed += step_time
         self._steps += 1
-        return StepReport(self._steps - 1, step_time, compute_times,
+        self._since_checkpoint_s += step_time
+
+        if step_faults is not None:
+            self._apply_step_faults(step_index, step_faults, report)
+        return StepReport(step_index, step_time, compute_times,
                           report.comm_times, report)
+
+    # -- fault injection and recovery ---------------------------------------
+
+    def _charge(self, seconds: float) -> None:
+        """Advance the clock by an already-recorded out-of-band cost."""
+        self._elapsed += seconds
+        self._metrics.total_time_s += seconds
+        self._metrics.total_core_seconds += (
+            seconds * self.num_nodes * self.spec.node.cores
+        )
+
+    def _write_checkpoint(self, superstep: int) -> None:
+        """Checkpoint every node's live state to simulated disk."""
+        policy = self.recovery
+        per_node = [tracker.used_bytes for tracker in self._memory]
+        largest = max(per_node)
+        write_s = largest / self.spec.node.disk_bandwidth \
+            + policy.checkpoint_overhead_s
+        self.tracer.record("checkpoint", self._elapsed, write_s,
+                           superstep=superstep, bytes=float(sum(per_node)))
+        self._charge(write_s)
+        stats = self._recovery_stats
+        stats.checkpoints_written += 1
+        stats.checkpoint_bytes += float(sum(per_node))
+        stats.checkpoint_time_s += write_s
+        self._checkpoint_state_bytes = largest
+        self._since_checkpoint_s = 0.0
+
+    def _apply_step_faults(self, superstep: int, step_faults, report) -> None:
+        """Book transient-fault costs, then resolve crashes."""
+        stats = self._recovery_stats
+        tracer = self.tracer
+        for event in step_faults.events:
+            stats.faults_injected += 1
+            stats.events.append(dict(event))
+            tracer.instant("fault", **event)
+            tracer.count("faults")
+        info = report.faults
+        if info is not None and (info["messages_dropped"]
+                                 or info["messages_corrupted"]
+                                 or info["blocked_pairs"]):
+            stats.faults_injected += 1
+            stats.messages_dropped += info["messages_dropped"]
+            stats.messages_corrupted += info["messages_corrupted"]
+            stats.retransmitted_bytes += info["retransmitted_bytes"]
+            stats.retry_time_s += info["stall_s"]
+            event = {"kind": "network-faults", "superstep": superstep,
+                     **{key: info[key] for key in
+                        ("messages_dropped", "messages_corrupted",
+                         "blocked_pairs") if info[key]}}
+            stats.events.append(event)
+            tracer.instant("fault", **event)
+            tracer.count("faults")
+            if info["messages_dropped"]:
+                tracer.count("messages_dropped", info["messages_dropped"])
+            if info["messages_corrupted"]:
+                tracer.count("messages_corrupted", info["messages_corrupted"])
+        for node in step_faults.crashes:
+            self._handle_crash(node, superstep)
+
+    def _handle_crash(self, node: int, superstep: int) -> None:
+        """Kill ``node``: recover from checkpoint or fail fast."""
+        stats = self._recovery_stats
+        stats.faults_injected += 1
+        stats.crashes += 1
+        event = {"kind": "node-crash", "superstep": superstep, "node": node}
+        stats.events.append(dict(event))
+        self.tracer.instant("fault", **event)
+        self.tracer.count("faults")
+        policy = self.recovery
+        if policy is None or not policy.recovers_crashes:
+            raise NodeFailure(node, superstep)
+        # The replacement node reloads the last checkpoint (sequential
+        # disk read) and replays every superstep since; with no
+        # checkpoint yet, the run restarts from superstep 0.
+        restore_s = self._checkpoint_state_bytes \
+            / self.spec.node.disk_bandwidth
+        replay_s = self._since_checkpoint_s
+        total_s = policy.detect_timeout_s + restore_s + replay_s
+        self.tracer.record("recovery", self._elapsed, total_s, node=node,
+                           superstep=superstep, restore_s=restore_s,
+                           replay_s=replay_s,
+                           detect_s=policy.detect_timeout_s)
+        self._charge(total_s)
+        stats.recoveries += 1
+        stats.restore_time_s += restore_s
+        stats.replay_time_s += replay_s
+        stats.recovery_time_s += total_s
+        stats.events.append({"kind": "recovery", "superstep": superstep,
+                             "node": node, "time_s": total_s})
 
     def tick(self, seconds: float) -> None:
         """Advance wall clock by a fixed, unscaled amount (startup, I/O)."""
@@ -229,3 +349,7 @@ class Cluster:
             tracker.peak_bytes for tracker in self._memory
         )
         return self._metrics
+
+    def recovery_stats(self) -> RecoveryStats:
+        """Fault/recovery accounting (all zeros on fault-free runs)."""
+        return self._recovery_stats

@@ -72,8 +72,12 @@ def metrics_from_trace(tracer, num_nodes: int = 1) -> RunMetrics:
     steps = steps_from_trace(tracer)
     metrics = RunMetrics(num_nodes=num_nodes)
     metrics.steps = steps
+    # Chaos runs charge checkpoint writes and crash recovery outside any
+    # superstep span; both are zero-duration absent a fault schedule.
     metrics.total_time_s = (sum(step.time_s for step in steps)
-                            + tracer.total_duration("tick"))
+                            + tracer.total_duration("tick")
+                            + tracer.total_duration("checkpoint")
+                            + tracer.total_duration("recovery"))
     metrics.compute_time_s = sum(step.compute_s for step in steps)
     metrics.comm_time_s = sum(step.comm_s for step in steps)
     metrics.bytes_sent_total = tracer.counters.get(

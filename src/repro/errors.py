@@ -51,5 +51,26 @@ class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its budget."""
 
 
+class NodeFailure(ReproError):
+    """A simulated node crashed and the framework cannot recover it.
+
+    Raised by fail-fast engines (native, GraphLab, Galois, ...) when a
+    chaos schedule kills a node: the paper's native baselines trade
+    fault tolerance away entirely, so a node loss ends the run. Carries
+    the failing node and the superstep at which it died so harness
+    layers and tests never have to parse the message.
+    """
+
+    def __init__(self, node, superstep, what=""):
+        self.node = int(node)
+        self.superstep = int(superstep)
+        self.what = what
+        detail = f" during {what}" if what else ""
+        super().__init__(
+            f"node {self.node} crashed at superstep {self.superstep}"
+            f"{detail}; no checkpoint/recovery policy is active (fail-fast)"
+        )
+
+
 class SimulationError(ReproError):
     """The cluster simulator was used inconsistently."""

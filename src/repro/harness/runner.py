@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..algorithms.registry import runner as _lookup
+from ..algorithms.registry import profile_for, runner as _lookup
+from ..chaos import FaultSchedule
 from ..cluster import Cluster, paper_cluster
 from ..errors import CapacityError, ExpressibilityError, ReproError
 from ..frameworks.results import AlgorithmResult
@@ -75,6 +76,7 @@ class RunResult:
     failure: str = ""
     config: dict = field(default_factory=dict)
     trace = None      # the Tracer passed to run_experiment, if any
+    recovery = None   # RecoveryStats when run with faults=..., else None
 
     @property
     def ok(self) -> bool:
@@ -123,12 +125,15 @@ class RunResult:
         if self.ok:
             out["runtime_s"] = self.result.runtime_for_comparison()
             out["result"] = self.result.to_dict()
+        if self.recovery is not None:
+            out["recovery"] = _json_safe(self.recovery.to_dict())
         return out
 
 
 def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
                    scale_factor: float = 1.0, enforce_memory: bool = True,
-                   trace=None, **params) -> RunResult:
+                   trace=None, faults=None, fault_seed: int = 0,
+                   recovery=None, **params) -> RunResult:
     """Run one cell of the study on a fresh simulated cluster.
 
     ``scale_factor`` is paper size / proxy size; it extrapolates the
@@ -137,18 +142,38 @@ def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
     :func:`default_params`. Pass ``trace=Tracer()`` to flight-record the
     run; the tracer comes back on ``RunResult.trace`` with every span
     and counter the execution stack emitted.
+
+    ``faults`` turns the cell into a chaos run: either a spec string
+    (``"crash(node=2, superstep=3); drop(p=0.01)"``, seeded with
+    ``fault_seed``) or a :class:`~repro.chaos.FaultSchedule`. The
+    framework's own :class:`~repro.chaos.RecoveryPolicy` applies unless
+    ``recovery`` overrides it; fault-free runs are byte-for-byte
+    unaffected. Recovery accounting lands on ``RunResult.recovery``.
+    Crashes a fail-fast framework cannot absorb raise
+    :class:`~repro.errors.NodeFailure`.
     """
     run = _lookup(algorithm, framework)
     merged = dict(default_params(algorithm, dataset))
     merged.update(params)
+    if isinstance(faults, str):
+        faults = FaultSchedule.from_spec(faults, seed=fault_seed)
+    elif faults is not None:
+        faults = faults.fresh()
+    if faults is not None and recovery is None:
+        recovery = profile_for(framework).recovery_policy()
     cluster = Cluster(paper_cluster(nodes), scale_factor=scale_factor,
-                      enforce_memory=enforce_memory, tracer=trace)
+                      enforce_memory=enforce_memory, tracer=trace,
+                      faults=faults, recovery=recovery)
     config = {"nodes": nodes, "scale_factor": scale_factor, **merged}
+    if faults is not None:
+        config["faults"] = faults.spec()
+        config["fault_seed"] = faults.seed
 
     def _finish(status, result=None, failure=""):
         cell = RunResult(algorithm, framework, nodes, status, result=result,
                          failure=failure, config=config)
         cell.trace = cluster.tracer if trace is not None else None
+        cell.recovery = cluster.recovery_stats() if faults is not None else None
         return cell
 
     with cluster.trace_span("run", algorithm=algorithm,

@@ -158,6 +158,70 @@ class TestTraceAgreesWithMetrics:
 
 
 # ---------------------------------------------------------------------------
+# Chaos runs: fault/checkpoint/recovery spans are part of the same story
+
+
+class TestChaosTracing:
+    @pytest.fixture(scope="class")
+    def chaos_run(self, graph_small):
+        return _traced("pagerank", "giraph", graph_small, nodes=4,
+                       iterations=4,
+                       faults="crash(node=2, superstep=2); drop(p=0.05)",
+                       fault_seed=17)
+
+    def test_fault_instants_and_recovery_spans(self, chaos_run):
+        tracer = chaos_run.trace
+        faults = tracer.spans_named("fault")
+        assert any(span.attrs.get("kind") == "node-crash" for span in faults)
+        (recovery,) = tracer.spans_named("recovery")
+        assert recovery.node == 2           # rendered on node 2's lane
+        assert recovery.attrs["superstep"] == 2
+        assert recovery.attrs["replay_s"] >= 0
+        assert tracer.spans_named("checkpoint")
+        assert tracer.counters["faults"] >= 1
+
+    def test_spans_mirror_recovery_stats(self, chaos_run):
+        tracer = chaos_run.trace
+        stats = chaos_run.recovery
+        assert tracer.total_duration("recovery") == pytest.approx(
+            stats.recovery_time_s, rel=1e-9)
+        assert tracer.total_duration("checkpoint") == pytest.approx(
+            stats.checkpoint_time_s, rel=1e-9)
+        if stats.messages_dropped:
+            assert tracer.counters["messages_dropped"] \
+                == stats.messages_dropped
+
+    def test_trace_totals_include_recovery_time(self, chaos_run):
+        """The trace-vs-metrics invariant, extended: superstep + tick +
+        checkpoint + recovery spans cover the whole simulated clock."""
+        tracer = chaos_run.trace
+        metrics = chaos_run.metrics()
+        stepped = (tracer.total_duration("superstep")
+                   + tracer.total_duration("tick")
+                   + tracer.total_duration("checkpoint")
+                   + tracer.total_duration("recovery"))
+        assert stepped == pytest.approx(metrics.total_time_s, rel=1e-9)
+        assert tracer.total_duration("recovery") > 0
+
+    def test_metrics_from_trace_includes_recovery(self, chaos_run):
+        from repro.cluster.timeline import metrics_from_trace
+
+        rebuilt = metrics_from_trace(chaos_run.trace, num_nodes=4)
+        assert rebuilt.total_time_s == pytest.approx(
+            chaos_run.metrics().total_time_s, rel=1e-9)
+
+    def test_chrome_export_carries_fault_events(self, chaos_run):
+        doc = json.loads(json.dumps(chrome_trace(chaos_run.trace)))
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert {"fault", "checkpoint", "recovery"} <= names
+        recovery_us = sum(event["dur"] for event in doc["traceEvents"]
+                          if event.get("ph") == "X"
+                          and event["name"] == "recovery")
+        assert recovery_us / 1e6 == pytest.approx(
+            chaos_run.recovery.recovery_time_s, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
 # Exporters
 
 
