@@ -5,8 +5,8 @@ import numpy as np
 from repro.harness import report, table5
 
 
-def test_table5(regenerate):
-    data = regenerate(table5)
+def test_table5(regenerate_resilient):
+    data = regenerate_resilient(table5)
     print()
     print(report.render_slowdown_table(
         data, "Table 5: single-node slowdowns vs native (geomean)"

@@ -5,8 +5,8 @@ import numpy as np
 from repro.harness import report, table6
 
 
-def test_table6(regenerate):
-    data = regenerate(table6)
+def test_table6(regenerate_resilient):
+    data = regenerate_resilient(table6)
     print()
     print(report.render_slowdown_table(
         data, "Table 6: multi-node slowdowns vs native (geomean)"

@@ -19,3 +19,33 @@ def regenerate(benchmark, capsys):
                                   rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture
+def regenerate_resilient(regenerate, tmp_path):
+    """Like ``regenerate``, but through a journaled resilient sweep.
+
+    The producer must accept ``sweep=`` (table5/table6, figure3-5). The
+    fixture journals every cell, checks the completeness accounting,
+    then resumes from the journal and asserts the replayed regeneration
+    recomputes nothing and reproduces identical data — the durability
+    contract every benchmarked sweep now ships with.
+    """
+    from repro.harness.sweep import Sweep
+
+    def _run(fn, *args, **kwargs):
+        journal = tmp_path / f"{fn.__name__}.jsonl"
+        engine = Sweep(fn.__name__, journal=journal)
+        data = regenerate(fn, *args, sweep=engine, **kwargs)
+        report = engine.last.completeness()
+        assert report["cells"] == report["executed"]
+        assert not report["quarantined"]
+
+        resumed = Sweep(fn.__name__, journal=journal, resume=True)
+        replay = fn(*args, sweep=resumed, **kwargs)
+        assert resumed.last.executed == 0
+        assert resumed.last.replayed == report["cells"]
+        assert replay == data
+        return data
+
+    return _run

@@ -6,6 +6,9 @@ Commands:
 * ``trace`` — run one cell with the flight recorder and export the trace;
 * ``chaos`` — run one cell fault-free and under a ``--faults`` schedule,
   and report what surviving the faults cost;
+* ``sweep`` — a durable, resumable multi-cell sweep (table5/table6/
+  figure3/figure4/figure5) with per-cell deadlines, retry + quarantine
+  and a JSONL journal;
 * ``table N`` / ``figure N`` — regenerate one paper artifact;
 * ``datasets`` — list the catalog and proxy sizes;
 * ``frameworks`` — list frameworks and their profiles;
@@ -18,6 +21,61 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+# Exit codes, one per failure class, so scripts and CI can tell a
+# legitimate DNF (the paper's dashes) from a broken invocation. 2 is
+# argparse's usage-error code.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_OOM = 3
+EXIT_UNSUPPORTED = 4
+EXIT_NODE_FAILURE = 5
+EXIT_DEADLINE = 6
+
+EXIT_CODES_HELP = """\
+exit codes:
+  0  success (for `sweep`: the sweep completed; DNF cells are results)
+  1  cell failed / unclassified error
+  2  usage error
+  3  out of memory (CapacityError)
+  4  unsupported by the framework's programming model
+  5  node failure the framework could not recover
+  6  simulated deadline exceeded (timeout)
+"""
+
+#: RunResult.status -> exit code (``run``/``trace`` commands).
+_STATUS_EXITS = {
+    "ok": EXIT_OK,
+    "out-of-memory": EXIT_OOM,
+    "unsupported": EXIT_UNSUPPORTED,
+    "failed": EXIT_NODE_FAILURE,
+    "timeout": EXIT_DEADLINE,
+}
+
+
+def _exit_code_for(error) -> int:
+    """Map a typed experiment failure to its exit code."""
+    from .errors import CapacityError, DeadlineExceeded, NodeFailure
+
+    if isinstance(error, CapacityError):
+        return EXIT_OOM
+    if isinstance(error, DeadlineExceeded):
+        return EXIT_DEADLINE
+    if isinstance(error, NodeFailure):
+        return EXIT_NODE_FAILURE
+    return EXIT_FAILURE
+
+
+def _failure_exit(error, label: str) -> int:
+    """Report a typed experiment failure on stderr; returns its code.
+
+    The single place every command funnels typed failures through, so
+    the failure-class -> exit-code mapping cannot drift between
+    commands (it used to be duplicated in ``chaos`` and ``main``).
+    """
+    print(f"{label}: {error}", file=sys.stderr)
+    return _exit_code_for(error)
 
 
 def _run_cell(args, trace=None):
@@ -38,6 +96,8 @@ def _run_cell(args, trace=None):
     if getattr(args, "faults", None):
         params["faults"] = args.faults
         params["fault_seed"] = args.fault_seed
+    if getattr(args, "deadline", None) is not None:
+        params["deadline_s"] = args.deadline
     return run_experiment(args.algorithm, args.framework, data,
                           nodes=args.nodes, scale_factor=args.scale_factor,
                           trace=trace, **params)
@@ -69,12 +129,12 @@ def _cmd_run(args) -> int:
     result = _run_cell(args)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
-        return 0 if result.ok else 1
+        return _STATUS_EXITS.get(result.status, EXIT_FAILURE)
     if not result.ok:
         print(f"status: {result.status} ({result.failure})")
-        return 1
+        return _STATUS_EXITS.get(result.status, EXIT_FAILURE)
     _print_run(result)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_trace(args) -> int:
@@ -106,7 +166,7 @@ def _cmd_trace(args) -> int:
                   f"(open in chrome://tracing or ui.perfetto.dev)")
         if args.csv:
             print(f"wrote per-superstep CSV to {args.csv}")
-    return 0 if result.ok else 1
+    return _STATUS_EXITS.get(result.status, EXIT_FAILURE)
 
 
 def _cmd_chaos(args) -> int:
@@ -135,15 +195,15 @@ def _cmd_chaos(args) -> int:
             print(f"chaos run   : FAILED — {failure}")
             print(f"              ({args.framework} runs fail-fast; pick a "
                   "checkpointing framework to survive crashes)")
-        return 1
+        return _exit_code_for(failure)
     if args.json:
         print(json.dumps({"baseline": baseline.to_dict(),
                           "chaos": chaos.to_dict()}, indent=2))
-        return 0 if chaos.ok else 1
+        return _STATUS_EXITS.get(chaos.status, EXIT_FAILURE)
     if not chaos.ok or not baseline.ok:
         failed = baseline if not baseline.ok else chaos
         print(f"status: {failed.status} ({failed.failure})")
-        return 1
+        return _STATUS_EXITS.get(failed.status, EXIT_FAILURE)
     stats = chaos.recovery
     # Total wall clock, not time/iteration: the overhead lines below are
     # whole-run seconds and the ratio must be read against them.
@@ -173,6 +233,67 @@ def _cmd_chaos(args) -> int:
             print(f"  step {event.get('superstep', '?'):>3}  "
                   f"{event['kind']:<14} {attrs}")
     return 0
+
+
+#: Sweepable artifact producers and their renderers, by target name.
+def _sweep_targets():
+    from .harness import figures, report, tables
+
+    return {
+        "table5": (tables.table5, True,
+                   lambda d: report.render_slowdown_table(d, "Table 5")),
+        "table6": (tables.table6, True,
+                   lambda d: report.render_slowdown_table(d, "Table 6")),
+        "figure3": (figures.figure3, True,
+                    lambda d: report.render_runtime_panels(d, "Figure 3")),
+        "figure4": (figures.figure4, True,
+                    lambda d: report.render_scaling_curves(d, "Figure 4")),
+        "figure5": (figures.figure5, False,
+                    lambda d: report.render_runtime_panels(d, "Figure 5")),
+    }
+
+
+def _cmd_sweep(args) -> int:
+    """Durable, resumable regeneration of one sweep artifact."""
+    from .harness import report
+    from .harness.sweep import Sweep
+    from .observability import Tracer, write_chrome_trace
+
+    producer, takes_algorithms, renderer = _sweep_targets()[args.target]
+    kwargs = {}
+    if args.frameworks:
+        kwargs["frameworks"] = tuple(args.frameworks.split(","))
+    if args.algorithms:
+        if not takes_algorithms:
+            print(f"{args.target} does not take --algorithms",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        kwargs["algorithms"] = tuple(args.algorithms.split(","))
+    tracer = Tracer()
+    engine = Sweep(args.target, journal=args.journal, resume=args.resume,
+                   deadline_s=args.deadline, max_retries=args.max_retries,
+                   tracer=tracer)
+    data = producer(sweep=engine, **kwargs)
+    completeness = engine.last.completeness()
+    if args.json:
+        print(json.dumps({"data": data, "completeness": completeness},
+                         indent=2, sort_keys=True))
+    else:
+        print(renderer(data))
+        print()
+        print(report.render_sweep_completeness(completeness))
+    if args.save:
+        from .harness.persistence import save_artifact
+
+        save_artifact(args.save, args.target, data,
+                      metadata={"completeness": completeness})
+        if not args.json:
+            print(f"\nsaved to {args.save}")
+    if args.trace_out:
+        write_chrome_trace(tracer, args.trace_out)
+    # DNF cells (OOM, timeout, ...) are *results* of a sweep, not
+    # errors: the sweep itself completing means exit 0.
+    return EXIT_OK
 
 
 def _cmd_table(args) -> int:
@@ -281,6 +402,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Navigating the Maze of Graph "
                     "Analytics Frameworks' (SIGMOD 2014)",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -297,6 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="override the harness default")
         command.add_argument("--hidden-dim", type=int, default=None,
                              help="CF hidden dimension (harness default: 32)")
+        command.add_argument("--deadline", type=float, default=None,
+                             help="simulated-seconds budget; exceeding it "
+                                  "is a 'timeout' result (exit 6)")
         command.add_argument("--json", action="store_true",
                              help="print the result as JSON")
 
@@ -326,6 +452,46 @@ def build_parser() -> argparse.ArgumentParser:
     _cell_arguments(chaos)
     _fault_arguments(chaos, required=True)
     chaos.set_defaults(func=_cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="durable, resumable sweep over one paper artifact",
+        description="Regenerate a table/figure through the resilient "
+                    "sweep engine: every cell is isolated, journaled, "
+                    "retried with backoff on unexpected errors and "
+                    "quarantined when it keeps failing; DNF cells "
+                    "(out-of-memory / unsupported / timeout / failed) "
+                    "are results, so a completed sweep exits 0.",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sweep.add_argument("target",
+                       choices=("table5", "table6", "figure3", "figure4",
+                                "figure5"))
+    sweep.add_argument("--journal",
+                       help="append-only JSONL journal; completed cells "
+                            "are replayed from it on --resume")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue an interrupted sweep from --journal "
+                            "instead of refusing to overwrite it")
+    sweep.add_argument("--deadline", type=float, default=None,
+                       help="per-cell budget in simulated seconds; cells "
+                            "over it become 'timeout' records")
+    sweep.add_argument("--max-retries", type=int, default=2,
+                       help="retries (with capped exponential backoff) "
+                            "before a cell with unexpected errors is "
+                            "quarantined (default: 2)")
+    sweep.add_argument("--frameworks",
+                       help="comma-separated framework subset")
+    sweep.add_argument("--algorithms",
+                       help="comma-separated algorithm subset")
+    sweep.add_argument("--save", help="also save the data as JSON")
+    sweep.add_argument("--trace-out",
+                       help="write the sweep's Chrome trace_event JSON "
+                            "(retry/quarantine/deadline instants) here")
+    sweep.add_argument("--json", action="store_true",
+                       help="print data + completeness report as JSON")
+    sweep.set_defaults(func=_cmd_sweep)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int)
@@ -375,7 +541,12 @@ def _cmd_report(args) -> int:
 
 
 def main(argv=None) -> int:
-    from .errors import NodeFailure
+    from .errors import (
+        CapacityError,
+        DeadlineExceeded,
+        NodeFailure,
+        ReproError,
+    )
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -384,11 +555,18 @@ def main(argv=None) -> int:
     except NodeFailure as failure:
         # A --faults crash on a fail-fast framework: a typed outcome of
         # the experiment, not a bug — report it like one.
-        print(f"node failure: {failure}", file=sys.stderr)
-        return 1
+        return _failure_exit(failure, "node failure")
+    except CapacityError as failure:
+        return _failure_exit(failure, "out of memory")
+    except DeadlineExceeded as failure:
+        return _failure_exit(failure, "deadline exceeded")
+    except ReproError as failure:
+        # Any other typed library failure (e.g. a journal that needs
+        # --resume): a clean message, not a traceback.
+        return _failure_exit(failure, "error")
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
-        return 0
+        return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..chaos.recovery import FAIL_FAST, RecoveryStats
-from ..errors import NodeFailure, SimulationError
+from ..errors import DeadlineExceeded, NodeFailure, SimulationError
 from ..observability import NULL_TRACER
 from .cost import ComputeWork, CostModel
 from .hardware import ClusterSpec
@@ -48,9 +48,12 @@ class Cluster:
 
     def __init__(self, spec: ClusterSpec, comm_layer: CommLayer = MPI,
                  scale_factor: float = 1.0, enforce_memory: bool = True,
-                 tracer=None, faults=None, recovery=None):
+                 tracer=None, faults=None, recovery=None,
+                 deadline_s: float = None):
         if scale_factor <= 0:
             raise SimulationError("scale_factor must be positive")
+        if deadline_s is not None and deadline_s <= 0:
+            raise SimulationError("deadline_s must be positive")
         self.spec = spec
         self.comm_layer = comm_layer
         self.scale_factor = float(scale_factor)
@@ -64,6 +67,10 @@ class Cluster:
         ]
         self._elapsed = 0.0
         self._steps = 0
+        # Per-run time budget on the simulated clock: the moment
+        # ``_elapsed`` crosses it, the run stops with DeadlineExceeded —
+        # the paper-style DNF for cells that would run "too long".
+        self.deadline_s = deadline_s
         self._iteration_started_at = 0.0
         self._metrics = RunMetrics(num_nodes=spec.num_nodes)
         # -- chaos: fault schedule + recovery protocol ---------------------
@@ -220,11 +227,20 @@ class Cluster:
             self._elapsed += step_time
         self._steps += 1
         self._since_checkpoint_s += step_time
+        self._check_deadline(f"superstep {step_index}")
 
         if step_faults is not None:
             self._apply_step_faults(step_index, step_faults, report)
         return StepReport(step_index, step_time, compute_times,
                           report.comm_times, report)
+
+    def _check_deadline(self, what: str = "") -> None:
+        """Stop the run once the simulated clock passes its budget."""
+        if self.deadline_s is not None and self._elapsed > self.deadline_s:
+            self.tracer.instant("deadline-exceeded",
+                                budget_s=self.deadline_s,
+                                elapsed_s=self._elapsed)
+            raise DeadlineExceeded(self.deadline_s, self._elapsed, what)
 
     # -- fault injection and recovery ---------------------------------------
 
@@ -235,6 +251,7 @@ class Cluster:
         self._metrics.total_core_seconds += (
             seconds * self.num_nodes * self.spec.node.cores
         )
+        self._check_deadline("recovery accounting")
 
     def _write_checkpoint(self, superstep: int) -> None:
         """Checkpoint every node's live state to simulated disk."""
@@ -326,6 +343,7 @@ class Cluster:
         self._metrics.total_core_seconds += (
             seconds * self.num_nodes * self.spec.node.cores
         )
+        self._check_deadline("tick")
 
     def mark_iteration(self) -> float:
         """Close the current algorithm iteration; returns its duration."""

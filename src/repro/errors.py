@@ -51,6 +51,29 @@ class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its budget."""
 
 
+class DeadlineExceeded(ReproError):
+    """Simulated time passed the cell's execution budget.
+
+    Raised by the :class:`~repro.cluster.simulator.Cluster` the moment
+    its simulated clock crosses ``deadline_s``. The sweep engine
+    classifies it as a ``timeout`` (DNF) cell — the equivalent of the
+    dashes benchmarking papers print for runs that exceeded their time
+    budget — so a hung convergence loop becomes a result instead of a
+    wedged sweep. Carries the budget and the elapsed time at which it
+    fired so reports never parse the message.
+    """
+
+    def __init__(self, budget_s, elapsed_s, what=""):
+        self.budget_s = float(budget_s)
+        self.elapsed_s = float(elapsed_s)
+        self.what = what
+        detail = f" during {what}" if what else ""
+        super().__init__(
+            f"simulated deadline exceeded{detail}: "
+            f"{self.elapsed_s:.4f} s elapsed of a {self.budget_s:.4f} s budget"
+        )
+
+
 class NodeFailure(ReproError):
     """A simulated node crashed and the framework cannot recover it.
 

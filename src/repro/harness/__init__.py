@@ -14,19 +14,31 @@ from .figures import figure3, figure4, figure5, figure6, figure7, sgd_vs_gd
 from .graph500 import Graph500Result, run_graph500
 from .persistence import compare_artifacts, load_artifact, save_artifact
 from .runner import (
+    CELL_STATUSES,
+    STATUS_FAILED,
     STATUS_OK,
     STATUS_OOM,
+    STATUS_TIMEOUT,
     STATUS_UNSUPPORTED,
     RunResult,
     default_params,
     run_experiment,
 )
 from .strong_scaling import parallel_efficiency, strong_scaling
+from .sweep import CellOutcome, CellRecord, Sweep, SweepResult, outcome_of
 from .tables import table1, table2, table3, table4, table5, table6, table7
 
 __all__ = [
+    "CELL_STATUSES",
+    "CellOutcome",
+    "CellRecord",
     "Graph500Result",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "Sweep",
+    "SweepResult",
     "compare_artifacts",
+    "outcome_of",
     "load_artifact",
     "parallel_efficiency",
     "run_graph500",

@@ -17,56 +17,75 @@ from .datasets import (
     weak_scaling_dataset,
 )
 from .runner import run_experiment
+from .sweep import Sweep, outcome_of
 from .tables import (
     MULTI_NODE_FRAMEWORKS,
     SINGLE_NODE_DATASETS,
     TABLE_FRAMEWORKS,
     _params,
-    _single_node_dataset,
+    _single_node_cell,
+    _weak_scaling_cell,
 )
 
 ALL_FRAMEWORKS = ("native",) + TABLE_FRAMEWORKS
 MULTI_FRAMEWORKS = ("native",) + MULTI_NODE_FRAMEWORKS
 
 
-def figure3(frameworks=ALL_FRAMEWORKS, algorithms=ALGORITHMS) -> dict:
+def figure3(frameworks=ALL_FRAMEWORKS, algorithms=ALGORITHMS,
+            sweep: Sweep = None) -> dict:
     """Single-node runtimes per dataset (4 panels).
 
     Returns ``{algorithm: {dataset: {framework: seconds | status}}}``.
+    Sweep-routed: pass ``sweep=Sweep(..., journal=...)`` for a durable,
+    resumable regeneration.
     """
+    engine = sweep if sweep is not None else Sweep("figure3")
+    cells = [
+        {"algorithm": algorithm, "dataset": dataset_name, "framework": name}
+        for algorithm in algorithms
+        for dataset_name in SINGLE_NODE_DATASETS[algorithm]
+        for name in frameworks
+    ]
+    result = engine.run(cells, _single_node_cell)
     out = {}
     for algorithm in algorithms:
         panel = {}
         for dataset_name in SINGLE_NODE_DATASETS[algorithm]:
-            data, factor = _single_node_dataset(algorithm, dataset_name)
-            params = _params(algorithm, data)
             cell = {}
             for name in frameworks:
-                run = run_experiment(algorithm, name, data, nodes=1,
-                                     scale_factor=factor, **params)
-                cell[name] = run.runtime() if run.ok else run.status
+                record = result.get(algorithm=algorithm,
+                                    dataset=dataset_name, framework=name)
+                cell[name] = record.runtime() if record.ok else record.status
             panel[dataset_name] = cell
         out[algorithm] = panel
     return out
 
 
 def figure4(frameworks=MULTI_FRAMEWORKS, algorithms=ALGORITHMS,
-            node_counts=(1, 2, 4, 8, 16, 32, 64)) -> dict:
+            node_counts=(1, 2, 4, 8, 16, 32, 64), sweep: Sweep = None) -> dict:
     """Weak-scaling curves (4 panels).
 
     Returns ``{algorithm: {framework: {nodes: seconds | status}}}``.
     Horizontal curves = perfect weak scaling, as in the paper.
+    Sweep-routed like :func:`figure3`.
     """
+    engine = sweep if sweep is not None else Sweep("figure4")
+    cells = [
+        {"algorithm": algorithm, "nodes": nodes, "framework": name}
+        for algorithm in algorithms
+        for nodes in node_counts
+        for name in frameworks
+    ]
+    result = engine.run(cells, _weak_scaling_cell)
     out = {}
     for algorithm in algorithms:
         curves = {name: {} for name in frameworks}
         for nodes in node_counts:
-            data, factor = weak_scaling_dataset(algorithm, nodes)
-            params = _params(algorithm, data)
             for name in frameworks:
-                run = run_experiment(algorithm, name, data, nodes=nodes,
-                                     scale_factor=factor, **params)
-                curves[name][nodes] = run.runtime() if run.ok else run.status
+                record = result.get(algorithm=algorithm, nodes=nodes,
+                                    framework=name)
+                curves[name][nodes] = record.runtime() if record.ok \
+                    else record.status
         out[algorithm] = curves
     return out
 
@@ -80,31 +99,49 @@ FIGURE5_CONFIG = {
 }
 
 
-def figure5(frameworks=MULTI_FRAMEWORKS) -> dict:
+def _figure5_cell(key: dict, budget_s: float = None):
+    """Sweep executor for one Figure 5 real-world cell."""
+    algorithm = key["algorithm"]
+    if algorithm == "collaborative_filtering":
+        data = single_node_ratings(key["dataset"])
+        factor = paper_scale_factor(key["dataset"], data.num_ratings)
+    else:
+        from .datasets import scale_factor_for
+
+        data = single_node_graph(key["dataset"], algorithm)
+        factor = scale_factor_for(algorithm,
+                                  CATALOG[key["dataset"]].paper_edges,
+                                  data.num_edges)
+    run = run_experiment(algorithm, key["framework"], data,
+                         nodes=key["nodes"], scale_factor=factor,
+                         deadline_s=budget_s, **_params(algorithm, data))
+    return outcome_of(run)
+
+
+def figure5(frameworks=MULTI_FRAMEWORKS, sweep: Sweep = None) -> dict:
     """Large real-world proxies on multiple nodes.
 
     Twitter for PageRank/BFS (4 nodes) and triangle counting (16 nodes —
     "required 16 nodes to complete", Section 4.1.1); Yahoo Music for
     collaborative filtering (4 nodes). CombBLAS's triangle-counting OOM
     on Twitter surfaces as an ``out-of-memory`` status, as in the paper.
+    Sweep-routed like :func:`figure3`.
     """
+    engine = sweep if sweep is not None else Sweep("figure5")
+    cells = [
+        {"algorithm": algorithm, "dataset": dataset_name, "nodes": nodes,
+         "framework": name}
+        for algorithm, (dataset_name, nodes) in FIGURE5_CONFIG.items()
+        for name in frameworks
+    ]
+    result = engine.run(cells, _figure5_cell)
     out = {}
     for algorithm, (dataset_name, nodes) in FIGURE5_CONFIG.items():
-        if algorithm == "collaborative_filtering":
-            data = single_node_ratings(dataset_name)
-            factor = paper_scale_factor(dataset_name, data.num_ratings)
-        else:
-            data = single_node_graph(dataset_name, algorithm)
-            from .datasets import scale_factor_for
-            factor = scale_factor_for(algorithm,
-                                      CATALOG[dataset_name].paper_edges,
-                                      data.num_edges)
-        params = _params(algorithm, data)
         cell = {}
         for name in frameworks:
-            run = run_experiment(algorithm, name, data, nodes=nodes,
-                                 scale_factor=factor, **params)
-            cell[name] = run.runtime() if run.ok else run.status
+            record = result.get(algorithm=algorithm, dataset=dataset_name,
+                                nodes=nodes, framework=name)
+            cell[name] = record.runtime() if record.ok else record.status
         out[algorithm] = {"dataset": dataset_name, "nodes": nodes,
                           "runtimes": cell}
     return out

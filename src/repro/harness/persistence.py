@@ -9,7 +9,10 @@ the regression check a maintainer runs before accepting a model change.
 from __future__ import annotations
 
 import json
+import math
+import os
 import platform
+import tempfile
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -23,15 +26,45 @@ def _jsonable(value):
     if isinstance(value, (list, tuple)):
         return [_jsonable(item) for item in value]
     if hasattr(value, "item"):          # numpy scalar
-        return value.item()
-    if isinstance(value, float) and value != value:
-        return None                      # NaN -> null
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return None                      # NaN and +/-inf -> null
     return value
 
 
-def save_artifact(path, name: str, data, metadata: dict = None) -> Path:
-    """Write one artifact (e.g. table5 output) with an environment stamp."""
+def atomic_write_text(path, text: str) -> Path:
+    """Crash-safe file replacement: temp file in the same dir + os.replace.
+
+    A crash (or Ctrl-C) mid-write leaves either the old file or the new
+    one, never a truncated hybrid; the temp file is cleaned up on any
+    failure. The temp file lives next to the target because
+    ``os.replace`` is only atomic within one filesystem.
+    """
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def save_artifact(path, name: str, data, metadata: dict = None) -> Path:
+    """Write one artifact (e.g. table5 output) with an environment stamp.
+
+    The write is atomic (see :func:`atomic_write_text`): an interrupted
+    save never corrupts a previously saved artifact.
+    """
     payload = {
         "artifact": name,
         "created": datetime.now(timezone.utc).isoformat(),
@@ -39,9 +72,8 @@ def save_artifact(path, name: str, data, metadata: dict = None) -> Path:
         "metadata": _jsonable(metadata or {}),
         "data": _jsonable(data),
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    return atomic_write_text(path, json.dumps(payload, indent=2,
+                                              sort_keys=True))
 
 
 def load_artifact(path) -> dict:

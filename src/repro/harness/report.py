@@ -159,6 +159,28 @@ def render_figure6(data: dict) -> str:
     return "\n".join(lines)
 
 
+def render_sweep_completeness(report: dict) -> str:
+    """The sweep's coverage + DNF taxonomy summary, paper-dash style."""
+    statuses = report["statuses"]
+    lines = [
+        f"Sweep '{report['sweep']}': {report['cells']} cells, "
+        f"{100 * report['coverage']:.0f}% ok "
+        f"({report['executed']} executed, {report['replayed']} replayed "
+        f"from journal, {report['retries']} retries)"
+    ]
+    taxonomy = ", ".join(f"{status}={count}"
+                         for status, count in statuses.items() if count)
+    lines.append(f"  statuses: {taxonomy if taxonomy else 'none'}")
+    for entry in report["dnf"]:
+        key = " ".join(f"{k}={v}" for k, v in entry["key"].items())
+        lines.append(f"  DNF [{entry['status']:>13}] {key}"
+                     + (f" — {entry['failure']}" if entry["failure"] else ""))
+    for key in report["quarantined"]:
+        flat = " ".join(f"{k}={v}" for k, v in key.items())
+        lines.append(f"  quarantined: {flat}")
+    return "\n".join(lines)
+
+
 def render_figure7(data: dict) -> str:
     lines = ["Figure 7: native optimization waterfall (cumulative speedup)"]
     for algorithm, ladder in data.items():

@@ -19,12 +19,23 @@ import numpy as np
 from ..algorithms.registry import profile_for, runner as _lookup
 from ..chaos import FaultSchedule
 from ..cluster import Cluster, paper_cluster
-from ..errors import CapacityError, ExpressibilityError, ReproError
+from ..errors import (
+    CapacityError,
+    DeadlineExceeded,
+    ExpressibilityError,
+    ReproError,
+)
 from ..frameworks.results import AlgorithmResult
 
 STATUS_OK = "ok"
 STATUS_OOM = "out-of-memory"
 STATUS_UNSUPPORTED = "unsupported"
+STATUS_TIMEOUT = "timeout"
+STATUS_FAILED = "failed"
+
+#: Every status a cell record can carry, in report order.
+CELL_STATUSES = (STATUS_OK, STATUS_OOM, STATUS_UNSUPPORTED, STATUS_TIMEOUT,
+                 STATUS_FAILED)
 
 
 def default_params(algorithm: str, dataset=None) -> dict:
@@ -75,8 +86,13 @@ class RunResult:
     result: AlgorithmResult = None
     failure: str = ""
     config: dict = field(default_factory=dict)
-    trace = None      # the Tracer passed to run_experiment, if any
-    recovery = None   # RecoveryStats when run with faults=..., else None
+    #: The Tracer passed to run_experiment, if any. A declared dataclass
+    #: field (not a shared class attribute) so instances never alias it
+    #: and ``dataclasses.fields`` sees it; excluded from repr/compare
+    #: because a tracer is a recording device, not part of the outcome.
+    trace: object = field(default=None, repr=False, compare=False)
+    #: RecoveryStats when run with faults=..., else None.
+    recovery: object = field(default=None)
 
     @property
     def ok(self) -> bool:
@@ -125,15 +141,16 @@ class RunResult:
         if self.ok:
             out["runtime_s"] = self.result.runtime_for_comparison()
             out["result"] = self.result.to_dict()
-        if self.recovery is not None:
-            out["recovery"] = _json_safe(self.recovery.to_dict())
+        out["recovery"] = (_json_safe(self.recovery.to_dict())
+                           if self.recovery is not None else None)
         return out
 
 
 def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
                    scale_factor: float = 1.0, enforce_memory: bool = True,
                    trace=None, faults=None, fault_seed: int = 0,
-                   recovery=None, **params) -> RunResult:
+                   recovery=None, deadline_s: float = None,
+                   **params) -> RunResult:
     """Run one cell of the study on a fresh simulated cluster.
 
     ``scale_factor`` is paper size / proxy size; it extrapolates the
@@ -151,6 +168,11 @@ def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
     unaffected. Recovery accounting lands on ``RunResult.recovery``.
     Crashes a fail-fast framework cannot absorb raise
     :class:`~repro.errors.NodeFailure`.
+
+    ``deadline_s`` caps the cell's *simulated* runtime: the cluster
+    raises :class:`~repro.errors.DeadlineExceeded` once its clock
+    crosses the budget, which comes back as a ``timeout`` status — the
+    paper's DNF dash — instead of an exception.
     """
     run = _lookup(algorithm, framework)
     merged = dict(default_params(algorithm, dataset))
@@ -163,8 +185,11 @@ def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
         recovery = profile_for(framework).recovery_policy()
     cluster = Cluster(paper_cluster(nodes), scale_factor=scale_factor,
                       enforce_memory=enforce_memory, tracer=trace,
-                      faults=faults, recovery=recovery)
+                      faults=faults, recovery=recovery,
+                      deadline_s=deadline_s)
     config = {"nodes": nodes, "scale_factor": scale_factor, **merged}
+    if deadline_s is not None:
+        config["deadline_s"] = deadline_s
     if faults is not None:
         config["faults"] = faults.spec()
         config["fault_seed"] = faults.seed
@@ -184,6 +209,8 @@ def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
             return _finish(STATUS_OOM, failure=str(error))
         except ExpressibilityError as error:
             return _finish(STATUS_UNSUPPORTED, failure=str(error))
+        except DeadlineExceeded as error:
+            return _finish(STATUS_TIMEOUT, failure=str(error))
         except ReproError as error:
             if "single-node" in str(error):
                 return _finish(STATUS_UNSUPPORTED, failure=str(error))

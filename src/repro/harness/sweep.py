@@ -1,0 +1,441 @@
+"""Resilient sweep engine: durable, resumable experiment sweeps.
+
+The paper's headline artifacts (Tables 5/6, Figures 3-7) are sweeps over
+(algorithm x framework x dataset x nodes) cells in which some cells
+legitimately fail — CombBLAS OOMs on Twitter triangle counting, Giraph
+cannot fit graphs at low node counts. A monolithic in-memory loop loses
+every completed cell on the first crash, hang or Ctrl-C. This module is
+the layer between "loop over run_experiment" and "unattended overnight
+sweep":
+
+* **Enumeration up front.** A sweep is a list of cell *keys* (plain
+  dicts of strings/numbers) plus one executor. The engine knows the
+  whole frontier before the first cell runs, so coverage is always
+  well-defined.
+* **Per-cell isolation.** Each cell runs inside its own try/except
+  boundary. Typed failures (:class:`~repro.errors.CapacityError`,
+  :class:`~repro.errors.ExpressibilityError`,
+  :class:`~repro.errors.DeadlineExceeded`,
+  :class:`~repro.errors.NodeFailure`) become typed cell records —
+  ``ok`` / ``out-of-memory`` / ``unsupported`` / ``timeout`` /
+  ``failed`` — exactly the DNF vocabulary benchmarking studies print as
+  dashes.
+* **Deadlines on the simulated clock.** ``deadline_s`` is handed to the
+  executor (and from there to the :class:`~repro.cluster.Cluster`), so
+  a hung convergence loop surfaces as a ``timeout`` cell, not a wedged
+  process.
+* **Retry + quarantine.** Unexpected exceptions (anything *not* typed)
+  are treated as transient: the cell is retried with capped exponential
+  backoff, and quarantined as ``failed`` after ``max_retries`` retries
+  so one bad configuration cannot sink the sweep.
+* **Durable journal.** Every finished cell is appended to a JSONL
+  journal (header written atomically, records flushed+fsynced line by
+  line). An interrupted sweep resumed from its journal *replays*
+  completed cells — it never recomputes them — and tolerates a
+  torn (partially written) final line from a mid-write crash.
+* **Completeness report.** :meth:`SweepResult.completeness` summarizes
+  coverage and the failure taxonomy per sweep; retry / quarantine /
+  deadline / replay events are mirrored as tracer instants so the
+  flight recorder explains every DNF.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import (
+    CapacityError,
+    DeadlineExceeded,
+    ExpressibilityError,
+    NodeFailure,
+    ReproError,
+)
+from ..observability import NULL_TRACER
+from .persistence import _jsonable, atomic_write_text
+from .runner import (
+    CELL_STATUSES,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_OOM,
+    STATUS_TIMEOUT,
+    STATUS_UNSUPPORTED,
+)
+
+JOURNAL_VERSION = 1
+
+#: Typed errors an executor may raise, with the cell status each maps to.
+TYPED_FAILURES = (
+    (CapacityError, STATUS_OOM),
+    (ExpressibilityError, STATUS_UNSUPPORTED),
+    (DeadlineExceeded, STATUS_TIMEOUT),
+    (NodeFailure, STATUS_FAILED),
+)
+
+_TYPED_ERRORS = tuple(error for error, _ in TYPED_FAILURES)
+
+
+def cell_id(key: dict) -> str:
+    """Canonical identity of a cell key (stable across runs/processes)."""
+    return json.dumps({str(k): key[k] for k in key}, sort_keys=True,
+                      separators=(",", ":"))
+
+
+@dataclass
+class CellOutcome:
+    """What an executor reports for one cell: a status plus its payload.
+
+    Executors that call :func:`~repro.harness.run_experiment` should
+    return :func:`outcome_of` so the runner's own failure classification
+    (OOM-as-result etc.) carries through; executors that just compute a
+    value may return it bare — the engine treats a non-outcome return as
+    ``ok``.
+    """
+
+    status: str
+    value: object = None
+    failure: str = ""
+
+
+def outcome_of(run) -> CellOutcome:
+    """Lift a :class:`~repro.harness.RunResult` into a cell outcome.
+
+    The journaled payload is the minimal JSON the table/figure
+    assemblers need (the comparison runtime), never the full result
+    object — journals stay small and replay stays exact.
+    """
+    value = {"runtime_s": run.runtime_or_none()} if run.ok else None
+    return CellOutcome(run.status, value=value, failure=run.failure)
+
+
+@dataclass
+class CellRecord:
+    """The durable outcome of one sweep cell."""
+
+    key: dict
+    status: str
+    value: object = None
+    failure: str = ""
+    attempts: int = 1
+    backoff_s: list = field(default_factory=list)
+    quarantined: bool = False
+    #: True when this record came from a journal instead of execution.
+    #: Not serialized — it describes this process, not the cell.
+    replayed: bool = field(default=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def runtime(self):
+        """``value["runtime_s"]`` for experiment cells, None on DNF."""
+        if not self.ok or not isinstance(self.value, dict):
+            return None
+        return self.value.get("runtime_s")
+
+    def to_dict(self) -> dict:
+        out = {
+            "key": {str(k): self.key[k] for k in self.key},
+            "status": self.status,
+            "value": self.value,
+            "attempts": self.attempts,
+        }
+        if self.failure:
+            out["failure"] = self.failure
+        if self.backoff_s:
+            out["backoff_s"] = list(self.backoff_s)
+        if self.quarantined:
+            out["quarantined"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellRecord":
+        if "key" not in payload or "status" not in payload:
+            raise ReproError("journal record is missing key/status")
+        if payload["status"] not in CELL_STATUSES:
+            raise ReproError(
+                f"journal record has unknown status {payload['status']!r}"
+            )
+        return cls(
+            key=dict(payload["key"]),
+            status=payload["status"],
+            value=payload.get("value"),
+            failure=payload.get("failure", ""),
+            attempts=int(payload.get("attempts", 1)),
+            backoff_s=list(payload.get("backoff_s", [])),
+            quarantined=bool(payload.get("quarantined", False)),
+            replayed=True,
+        )
+
+
+class SweepJournal:
+    """Append-only JSONL run store for one sweep.
+
+    Line 1 is a header (sweep name, journal version, engine config),
+    written atomically via temp-file + ``os.replace``; every line after
+    it is one completed :class:`CellRecord`, appended with
+    flush + fsync so a kill loses at most the line being written. The
+    loader drops a torn trailing line (the mid-write crash signature)
+    but refuses garbage anywhere else.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._handle = None
+        # Set by load() when the file ends in a torn line: the intact
+        # prefix that open() must restore before appending, so a new
+        # record never concatenates onto the partial one.
+        self._repaired_text = None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self, name: str) -> dict:
+        """Read back ``{cell_id: CellRecord}``; validates the header."""
+        lines = self.path.read_text().split("\n")
+        lines = [line for line in lines if line.strip()] or [""]
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise ReproError(f"{self.path} has no valid journal header")
+        if header.get("journal") != name \
+                or header.get("version") != JOURNAL_VERSION:
+            raise ReproError(
+                f"{self.path} is a journal for "
+                f"{header.get('journal')!r} v{header.get('version')}, "
+                f"not {name!r} v{JOURNAL_VERSION}"
+            )
+        records = {}
+        for index, line in enumerate(lines[1:], start=2):
+            try:
+                record = CellRecord.from_dict(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines):
+                    # Torn final line: the crash happened mid-append.
+                    # Everything before it is intact; drop it, and make
+                    # open() rewrite the file without it so the next
+                    # append starts on a fresh line.
+                    self._repaired_text = \
+                        "\n".join(lines[:index - 1]) + "\n"
+                    break
+                raise ReproError(
+                    f"{self.path}:{index} is corrupt mid-journal; "
+                    "refusing to resume from it"
+                )
+            records[cell_id(record.key)] = record
+        return records
+
+    def open(self, name: str, config: dict) -> None:
+        """Start (or continue) appending; writes the header if new."""
+        if not self.path.exists():
+            header = {"journal": name, "version": JOURNAL_VERSION,
+                      "config": _jsonable(config)}
+            atomic_write_text(self.path, json.dumps(header) + "\n")
+        elif self._repaired_text is not None:
+            atomic_write_text(self.path, self._repaired_text)
+            self._repaired_text = None
+        self._handle = open(self.path, "a")
+
+    def append(self, record: CellRecord) -> None:
+        line = json.dumps(_jsonable(record.to_dict()), sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+@dataclass
+class SweepResult:
+    """All cell records of one sweep, in enumeration order."""
+
+    name: str
+    keys: list
+    records: dict
+    executed: int = 0
+    replayed: int = 0
+
+    def get(self, **key) -> CellRecord:
+        """The record for one cell, by its key fields."""
+        cid = cell_id(key)
+        if cid not in self.records:
+            raise ReproError(f"sweep {self.name!r} has no cell {cid}")
+        return self.records[cid]
+
+    def __iter__(self):
+        for key in self.keys:
+            yield self.records[cell_id(key)]
+
+    def completeness(self) -> dict:
+        """Coverage + failure taxonomy: the sweep's summary report."""
+        counts = {status: 0 for status in CELL_STATUSES}
+        dnf, quarantined, retried = [], [], 0
+        for record in self:
+            counts[record.status] += 1
+            retried += record.attempts - 1
+            if record.quarantined:
+                quarantined.append(record.key)
+            if not record.ok:
+                dnf.append({"key": record.key, "status": record.status,
+                            "failure": record.failure})
+        total = len(self.keys)
+        return {
+            "sweep": self.name,
+            "cells": total,
+            "statuses": counts,
+            "coverage": counts[STATUS_OK] / total if total else 1.0,
+            "executed": self.executed,
+            "replayed": self.replayed,
+            "retries": retried,
+            "quarantined": quarantined,
+            "dnf": dnf,
+        }
+
+
+class Sweep:
+    """The resilient sweep engine.
+
+    ``Sweep("table5").run(cells, execute)`` runs every cell through an
+    isolated failure boundary; add ``journal=`` for durability,
+    ``resume=True`` to replay a previous journal, ``deadline_s=`` for a
+    per-cell simulated-time budget, and ``max_retries=`` /
+    ``backoff_base_s`` / ``backoff_cap_s`` for the transient-failure
+    policy. ``sleep`` is the backoff clock — ``None`` (the default)
+    records the schedule without real-time waiting, which is the right
+    choice for a simulator; pass ``time.sleep`` when the executor talks
+    to real systems.
+
+    The engine is deliberately stateless between ``run`` calls except
+    for ``last``, the most recent :class:`SweepResult` (handy for
+    callers like the CLI that get back only assembled table data).
+    """
+
+    def __init__(self, name: str, journal=None, resume: bool = False,
+                 deadline_s: float = None, max_retries: int = 2,
+                 backoff_base_s: float = 0.5, backoff_cap_s: float = 8.0,
+                 sleep=None, tracer=None):
+        if max_retries < 0:
+            raise ReproError("max_retries must be >= 0")
+        self.name = name
+        self.journal_path = Path(journal) if journal is not None else None
+        self.resume = resume
+        self.deadline_s = deadline_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.sleep = sleep
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.last = None
+
+    def _config(self) -> dict:
+        return {"deadline_s": self.deadline_s,
+                "max_retries": self.max_retries,
+                "backoff_base_s": self.backoff_base_s,
+                "backoff_cap_s": self.backoff_cap_s}
+
+    def run(self, cells, execute) -> SweepResult:
+        """Run (or resume) the sweep; returns every cell's record.
+
+        ``cells`` — an iterable of cell-key dicts, enumerated up front;
+        ``execute(key, budget_s=...)`` — computes one cell and returns a
+        JSON-safe payload or a :class:`CellOutcome`. The executor is
+        never called for a cell already in the journal.
+        """
+        keys = [dict(key) for key in cells]
+        ids = [cell_id(key) for key in keys]
+        if len(set(ids)) != len(ids):
+            raise ReproError(f"sweep {self.name!r} enumerates duplicate cells")
+
+        journal, records = None, {}
+        if self.journal_path is not None:
+            journal = SweepJournal(self.journal_path)
+            if journal.exists():
+                if not self.resume:
+                    raise ReproError(
+                        f"journal {self.journal_path} already exists; pass "
+                        "resume=True (--resume) to continue it or remove it "
+                        "to start over"
+                    )
+                loaded = journal.load(self.name)
+                # Only cells of *this* sweep replay; stale extras are
+                # ignored (e.g. the frontier was narrowed between runs).
+                records = {cid: loaded[cid] for cid in ids if cid in loaded}
+            journal.open(self.name, self._config())
+
+        result = SweepResult(self.name, keys, records)
+        tracer = self.tracer
+        try:
+            with tracer.span("sweep", sweep=self.name, cells=len(keys),
+                             resumed=len(records)):
+                for key, cid in zip(keys, ids):
+                    if cid in records:
+                        result.replayed += 1
+                        tracer.instant("cell-replayed", **key)
+                        continue
+                    record = self._run_cell(key, execute)
+                    records[cid] = record
+                    result.executed += 1
+                    if journal is not None:
+                        journal.append(record)
+        finally:
+            if journal is not None:
+                journal.close()
+        self.last = result
+        return result
+
+    def _run_cell(self, key: dict, execute) -> CellRecord:
+        """One cell behind its isolation boundary, with retry policy."""
+        tracer = self.tracer
+        attempts = 0
+        backoffs = []
+        while True:
+            attempts += 1
+            with tracer.span("cell", attempt=attempts, **key):
+                try:
+                    outcome = execute(key, budget_s=self.deadline_s)
+                except _TYPED_ERRORS as error:
+                    status = next(s for err, s in TYPED_FAILURES
+                                  if isinstance(error, err))
+                    if status == STATUS_TIMEOUT:
+                        tracer.instant("cell-deadline",
+                                       budget_s=self.deadline_s, **key)
+                    return CellRecord(key, status, failure=str(error),
+                                      attempts=attempts, backoff_s=backoffs)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as error:  # unexpected: maybe transient
+                    failure = f"{type(error).__name__}: {error}"
+                    if attempts > self.max_retries:
+                        tracer.instant("cell-quarantined",
+                                       attempts=attempts, error=failure,
+                                       **key)
+                        return CellRecord(key, STATUS_FAILED,
+                                          failure=failure, attempts=attempts,
+                                          backoff_s=backoffs,
+                                          quarantined=True)
+                    delay = min(self.backoff_base_s * 2 ** (attempts - 1),
+                                self.backoff_cap_s)
+                    backoffs.append(delay)
+                    tracer.instant("cell-retry", attempt=attempts,
+                                   backoff_s=delay, error=failure, **key)
+                    if self.sleep is not None:
+                        self.sleep(delay)
+                    continue
+            if isinstance(outcome, CellOutcome):
+                status, value, failure = \
+                    outcome.status, outcome.value, outcome.failure
+            else:
+                status, value, failure = STATUS_OK, outcome, ""
+            if status == STATUS_TIMEOUT:
+                tracer.instant("cell-deadline", budget_s=self.deadline_s,
+                               **key)
+            # Journaled and fresh values must be indistinguishable, so
+            # normalize to JSON types *before* anyone consumes them.
+            return CellRecord(key, status, value=_jsonable(value),
+                              failure=failure, attempts=attempts,
+                              backoff_s=backoffs)

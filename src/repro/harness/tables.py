@@ -21,6 +21,7 @@ from .datasets import (
     weak_scaling_dataset,
 )
 from .runner import default_params, run_experiment
+from .sweep import Sweep, outcome_of
 
 #: Frameworks of the headline comparison, in the paper's column order.
 TABLE_FRAMEWORKS = ("combblas", "graphlab", "socialite", "giraph", "galois")
@@ -73,6 +74,61 @@ def _geomean(values) -> float:
     if not values:
         return float("nan")
     return float(np.exp(np.mean(np.log(values))))
+
+
+# ---------------------------------------------------------------------------
+# Sweep cell executors (shared with repro.harness.figures).
+# ---------------------------------------------------------------------------
+
+def _single_node_cell(key: dict, budget_s: float = None):
+    """Sweep executor for one Figure 3 / Table 5 cell (1 node)."""
+    data, factor = _single_node_dataset(key["algorithm"], key["dataset"])
+    run = run_experiment(key["algorithm"], key["framework"], data, nodes=1,
+                         scale_factor=factor, deadline_s=budget_s,
+                         **_params(key["algorithm"], data))
+    return outcome_of(run)
+
+
+def _weak_scaling_cell(key: dict, budget_s: float = None):
+    """Sweep executor for one Figure 4 / Table 6 weak-scaling cell."""
+    data, factor = weak_scaling_dataset(key["algorithm"], key["nodes"])
+    run = run_experiment(key["algorithm"], key["framework"], data,
+                         nodes=key["nodes"], scale_factor=factor,
+                         deadline_s=budget_s,
+                         **_params(key["algorithm"], data))
+    return outcome_of(run)
+
+
+def _slowdown_table(result, algorithms, frameworks, axis: str,
+                    axis_values) -> dict:
+    """Assemble a Table 5/6 payload from sweep cell records.
+
+    ``axis`` is the inner enumeration field (``dataset`` or ``nodes``);
+    slowdowns geomean over the axis points where both the framework and
+    the native baseline completed, and every cell's status is reported
+    so DNF cells stay visible, as in the paper.
+    """
+    out = {}
+    for algorithm in algorithms:
+        per_framework = {name: [] for name in frameworks}
+        statuses = {name: [] for name in frameworks}
+        for value in axis_values(algorithm):
+            baseline = result.get(algorithm=algorithm, framework="native",
+                                  **{axis: value}).runtime()
+            for name in frameworks:
+                record = result.get(algorithm=algorithm, framework=name,
+                                    **{axis: value})
+                statuses[name].append(record.status)
+                if record.ok and baseline is not None:
+                    per_framework[name].append(record.runtime() / baseline)
+        out[algorithm] = {
+            name: {
+                "slowdown": _geomean(per_framework[name]),
+                "statuses": statuses[name],
+            }
+            for name in frameworks
+        }
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -222,61 +278,47 @@ def table4() -> dict:
 # Tables 5 / 6 — single and multi node slowdowns.
 # ---------------------------------------------------------------------------
 
-def table5(frameworks=TABLE_FRAMEWORKS, algorithms=ALGORITHMS) -> dict:
-    """Single-node slowdowns vs native, geomean over the Figure 3 datasets."""
-    out = {}
-    for algorithm in algorithms:
-        per_framework = {name: [] for name in frameworks}
-        statuses = {name: [] for name in frameworks}
-        for dataset_name in SINGLE_NODE_DATASETS[algorithm]:
-            data, factor = _single_node_dataset(algorithm, dataset_name)
-            params = _params(algorithm, data)
-            native = run_experiment(algorithm, "native", data, nodes=1,
-                                    scale_factor=factor, **params)
-            baseline = native.runtime()
-            for name in frameworks:
-                run = run_experiment(algorithm, name, data, nodes=1,
-                                     scale_factor=factor, **params)
-                statuses[name].append(run.status)
-                if run.ok:
-                    per_framework[name].append(run.runtime() / baseline)
-        out[algorithm] = {
-            name: {
-                "slowdown": _geomean(per_framework[name]),
-                "statuses": statuses[name],
-            }
-            for name in frameworks
-        }
-    return out
+def table5(frameworks=TABLE_FRAMEWORKS, algorithms=ALGORITHMS,
+           sweep: Sweep = None) -> dict:
+    """Single-node slowdowns vs native, geomean over the Figure 3 datasets.
+
+    All cells (including the native baselines) run through the
+    resilient sweep engine; pass ``sweep=Sweep(..., journal=...)`` for a
+    durable, resumable regeneration with per-cell deadlines. The
+    default is a plain in-memory sweep with identical output.
+    """
+    frameworks = tuple(frameworks)
+    algorithms = tuple(algorithms)
+    engine = sweep if sweep is not None else Sweep("table5")
+    cells = [
+        {"algorithm": algorithm, "dataset": dataset_name, "framework": name}
+        for algorithm in algorithms
+        for dataset_name in SINGLE_NODE_DATASETS[algorithm]
+        for name in ("native",) + frameworks
+    ]
+    result = engine.run(cells, _single_node_cell)
+    return _slowdown_table(result, algorithms, frameworks, "dataset",
+                           lambda algorithm: SINGLE_NODE_DATASETS[algorithm])
 
 
 def table6(frameworks=MULTI_NODE_FRAMEWORKS, algorithms=ALGORITHMS,
-           node_counts=(4, 16)) -> dict:
-    """Multi-node slowdowns vs native, geomean over weak-scaling points."""
-    out = {}
-    for algorithm in algorithms:
-        per_framework = {name: [] for name in frameworks}
-        statuses = {name: [] for name in frameworks}
-        for nodes in node_counts:
-            data, factor = weak_scaling_dataset(algorithm, nodes)
-            params = _params(algorithm, data)
-            native = run_experiment(algorithm, "native", data, nodes=nodes,
-                                    scale_factor=factor, **params)
-            baseline = native.runtime()
-            for name in frameworks:
-                run = run_experiment(algorithm, name, data, nodes=nodes,
-                                     scale_factor=factor, **params)
-                statuses[name].append(run.status)
-                if run.ok:
-                    per_framework[name].append(run.runtime() / baseline)
-        out[algorithm] = {
-            name: {
-                "slowdown": _geomean(per_framework[name]),
-                "statuses": statuses[name],
-            }
-            for name in frameworks
-        }
-    return out
+           node_counts=(4, 16), sweep: Sweep = None) -> dict:
+    """Multi-node slowdowns vs native, geomean over weak-scaling points.
+
+    Sweep-routed like :func:`table5`.
+    """
+    frameworks = tuple(frameworks)
+    algorithms = tuple(algorithms)
+    engine = sweep if sweep is not None else Sweep("table6")
+    cells = [
+        {"algorithm": algorithm, "nodes": nodes, "framework": name}
+        for algorithm in algorithms
+        for nodes in node_counts
+        for name in ("native",) + frameworks
+    ]
+    result = engine.run(cells, _weak_scaling_cell)
+    return _slowdown_table(result, algorithms, frameworks, "nodes",
+                           lambda _algorithm: node_counts)
 
 
 # ---------------------------------------------------------------------------

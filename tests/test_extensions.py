@@ -210,7 +210,9 @@ class TestCLI:
 
         code = main(["run", "pagerank", "galois", "--dataset", "rmat_mini",
                      "--nodes", "4"])
-        assert code == 1
+        # Failure classes map to distinct exit codes (see --help):
+        # unsupported-by-programming-model is 4.
+        assert code == 4
         assert "unsupported" in capsys.readouterr().out
 
     def test_datasets_command(self, capsys):
