@@ -8,6 +8,7 @@ BFS, pagerank and Triangle Counting all benefit between 1.2-2x."
 from repro.frameworks.native import NativeOptions
 from repro.harness import run_experiment
 from repro.harness.datasets import weak_scaling_dataset
+from benchmarks.conftest import register_benchmark
 
 
 def measure(nodes=4):
@@ -48,3 +49,6 @@ def test_overlap_benefit(regenerate):
         assert 1.1 < row["speedup"] < 2.5, algorithm
     # Blocking also bounds triangle counting's buffer memory.
     assert rows["triangle_counting"]["footprint_ratio"] >= 1.0
+
+
+register_benchmark("ablation_overlap", measure, artifact="ablation")

@@ -15,6 +15,7 @@ from repro.datagen import rmat_graph
 from repro.datagen.uniform import erdos_renyi_graph, ring_lattice_graph
 from repro.graph import gini_coefficient, partition_vertices_1d
 from repro.harness import run_experiment
+from benchmarks.conftest import register_benchmark
 
 
 def build_graphs(scale=13):
@@ -62,3 +63,6 @@ def test_skew_is_the_hard_part(regenerate):
     # Load imbalance under naive partitioning follows the skew.
     assert rows["lattice"]["imbalance"] <= rows["uniform"]["imbalance"] * 1.05
     assert rows["rmat"]["imbalance"] > rows["uniform"]["imbalance"]
+
+
+register_benchmark("ablation_skew", measure, artifact="ablation")

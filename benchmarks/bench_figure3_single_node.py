@@ -1,6 +1,7 @@
 """Figure 3: single-node runtimes on real-world and synthetic graphs."""
 
 from repro.harness import figure3, report
+from benchmarks.conftest import register_benchmark
 
 
 def test_figure3(regenerate):
@@ -35,3 +36,6 @@ def test_figure3(regenerate):
     real_rank = ranking(pagerank["livejournal"])
     assert synthetic_rank[0] == real_rank[0] == "native"
     assert synthetic_rank[-1] == real_rank[-1] == "giraph"
+
+
+register_benchmark("figure3", figure3, artifact="figure3")

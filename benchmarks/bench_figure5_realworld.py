@@ -1,6 +1,7 @@
 """Figure 5: large real-world graphs (Twitter / Yahoo Music) multi-node."""
 
 from repro.harness import figure5, report
+from benchmarks.conftest import register_benchmark
 
 
 def test_figure5(regenerate):
@@ -36,3 +37,6 @@ def test_figure5(regenerate):
     completed = {f: v for f, v in tc.items()
                  if isinstance(v, float) and f != "native"}
     assert min(completed, key=completed.get) == "socialite"
+
+
+register_benchmark("figure5", figure5, artifact="figure5")

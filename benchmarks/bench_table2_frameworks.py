@@ -1,6 +1,7 @@
 """Table 2: high-level comparison of the graph frameworks."""
 
 from repro.harness import report, table2
+from benchmarks.conftest import register_benchmark
 
 
 def test_table2(regenerate):
@@ -21,3 +22,6 @@ def test_table2(regenerate):
     assert not by_name["Galois"]["multi_node"]
     assert by_name["Giraph"]["language"] == "Java"
     assert by_name["Giraph"]["communication_layer"] == "netty-hadoop"
+
+
+register_benchmark("table2", table2, artifact="table2")

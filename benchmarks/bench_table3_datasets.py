@@ -1,6 +1,7 @@
 """Table 3: real-world and largest synthetic datasets (proxy inventory)."""
 
 from repro.harness import report, table3
+from benchmarks.conftest import register_benchmark
 
 
 def test_table3(regenerate):
@@ -28,3 +29,6 @@ def test_table3(regenerate):
     assert max(graphs, key=lambda r: r["proxy_edges"])["dataset"] in (
         "twitter",
     )
+
+
+register_benchmark("table3", table3, artifact="table3")

@@ -1,6 +1,7 @@
 """Table 4: efficiency achieved by the native implementations."""
 
 from repro.harness import report, table4
+from benchmarks.conftest import register_benchmark
 
 
 def test_table4(regenerate):
@@ -36,3 +37,6 @@ def test_table4(regenerate):
     assert data["pagerank"][1]["efficiency"] > 0.75
     assert data["triangle_counting"][1]["efficiency"] < \
         data["pagerank"][1]["efficiency"]
+
+
+register_benchmark("table4", table4, artifact="table4")

@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.harness import report, table5
+from benchmarks.conftest import register_benchmark
 
 
 def test_table5(regenerate_resilient):
@@ -40,3 +41,6 @@ def test_table5(regenerate_resilient):
 
     # CombBLAS is competitive on PageRank (1.9x in the paper).
     assert slowdown("pagerank", "combblas") < 3.5
+
+
+register_benchmark("table5", table5, artifact="table5")

@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.harness import report, table6
+from benchmarks.conftest import register_benchmark
 
 
 def test_table6(regenerate_resilient):
@@ -34,3 +35,6 @@ def test_table6(regenerate_resilient):
     # ("within 2x of native" in the paper).
     assert tc["socialite"] <= min(tc.values()) * 1.25
     assert tc["socialite"] < 4.0
+
+
+register_benchmark("table6", table6, artifact="table6")

@@ -10,6 +10,9 @@ Commands:
   figure3/figure4/figure5) with per-cell deadlines, retry + quarantine
   and a JSONL journal;
 * ``table N`` / ``figure N`` — regenerate one paper artifact;
+* ``perf`` — roofline bounds + gap attribution (``analyze``), ranked
+  optimization what-ifs (``advise``) and the perf-regression gate
+  (``baseline record|check|list``);
 * ``datasets`` — list the catalog and proxy sizes;
 * ``frameworks`` — list frameworks and their profiles;
 * ``graph500`` — the Graph500 BFS protocol on the simulator;
@@ -32,6 +35,7 @@ EXIT_OOM = 3
 EXIT_UNSUPPORTED = 4
 EXIT_NODE_FAILURE = 5
 EXIT_DEADLINE = 6
+EXIT_PERF_REGRESSION = 7
 
 EXIT_CODES_HELP = """\
 exit codes:
@@ -42,6 +46,7 @@ exit codes:
   4  unsupported by the framework's programming model
   5  node failure the framework could not recover
   6  simulated deadline exceeded (timeout)
+  7  perf gate failed: cells regressed beyond the baseline tolerance
 """
 
 #: RunResult.status -> exit code (``run``/``trace`` commands).
@@ -56,7 +61,12 @@ _STATUS_EXITS = {
 
 def _exit_code_for(error) -> int:
     """Map a typed experiment failure to its exit code."""
-    from .errors import CapacityError, DeadlineExceeded, NodeFailure
+    from .errors import (
+        CapacityError,
+        DeadlineExceeded,
+        NodeFailure,
+        PerfRegression,
+    )
 
     if isinstance(error, CapacityError):
         return EXIT_OOM
@@ -64,6 +74,8 @@ def _exit_code_for(error) -> int:
         return EXIT_DEADLINE
     if isinstance(error, NodeFailure):
         return EXIT_NODE_FAILURE
+    if isinstance(error, PerfRegression):
+        return EXIT_PERF_REGRESSION
     return EXIT_FAILURE
 
 
@@ -395,6 +407,98 @@ def _cmd_regenerate(_args) -> int:
     return subprocess.call([sys.executable, "scripts/regenerate_all.py"])
 
 
+def _parse_node_counts(spec: str):
+    return tuple(int(part) for part in spec.split(",") if part)
+
+
+def _cmd_perf_analyze(args) -> int:
+    """Roofline ratios for one framework; gap attribution when not native."""
+    from . import perf
+
+    algorithms = tuple(args.algorithms.split(",")) if args.algorithms \
+        else None
+    node_counts = _parse_node_counts(args.nodes)
+    table = perf.roofline_table(framework=args.framework,
+                                algorithms=algorithms,
+                                node_counts=node_counts)
+    attributions = []
+    if args.framework != "native":
+        from .algorithms.registry import ALGORITHMS
+
+        for algorithm in algorithms or ALGORITHMS:
+            for nodes in node_counts:
+                cell = table[algorithm][nodes]
+                if "ratio" not in cell:
+                    continue
+                attributions.append(perf.attribute_cell(
+                    algorithm, args.framework, nodes=nodes))
+    if args.json:
+        payload = {"framework": args.framework, "roofline": table,
+                   "attributions": [a.to_dict() for a in attributions]}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(perf.render_roofline(
+        table, title=f"Roofline: {args.framework} vs hardware bounds"))
+    for attribution in attributions:
+        print()
+        print(perf.render_attribution(attribution))
+    return EXIT_OK
+
+
+def _cmd_perf_advise(args) -> int:
+    from . import perf
+
+    advice = perf.advise_cell(args.algorithm, nodes=args.nodes)
+    if args.json:
+        print(json.dumps([item.to_dict() for item in advice], indent=2))
+    else:
+        print(perf.render_advice(
+            advice, f"{args.algorithm} on {args.nodes} node(s)"))
+    return EXIT_OK
+
+
+def _cmd_perf_baseline(args) -> int:
+    from . import perf
+
+    if args.action == "list":
+        from benchmarks.conftest import load_benchmarks
+
+        registry = load_benchmarks()
+        for name in sorted(registry):
+            bench = registry[name]
+            print(f"{name:<28} artifact={bench.artifact:<12} "
+                  f"{bench.producer.__module__}.{bench.producer.__name__}")
+        print(f"{len(registry)} registered benchmarks")
+        return EXIT_OK
+    if args.action == "record":
+        algorithms = tuple(args.algorithms.split(",")) if args.algorithms \
+            else None
+        frameworks = tuple(args.frameworks.split(",")) if args.frameworks \
+            else perf.GATE_FRAMEWORKS
+        benchmarks = tuple(args.benchmarks.split(",")) if args.benchmarks \
+            else ()
+        payload = perf.record(path=args.out, algorithms=algorithms,
+                              frameworks=frameworks,
+                              node_counts=_parse_node_counts(args.nodes),
+                              benchmarks=benchmarks)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"recorded {len(payload['cells'])} cells"
+                  + (f" + {len(payload['wall_clock'])} wall-clock "
+                     f"benchmarks" if payload["wall_clock"] else "")
+                  + f" to {args.out}")
+        return EXIT_OK
+    # check
+    report = perf.check(path=args.baseline, tolerance=args.tolerance,
+                        inject=args.inject)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(perf.render_gate(report))
+    return EXIT_OK if report.ok else EXIT_PERF_REGRESSION
+
+
 def build_parser() -> argparse.ArgumentParser:
     from .algorithms.registry import ALGORITHMS, FRAMEWORKS
 
@@ -518,6 +622,64 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("regenerate", help="regenerate every table and figure") \
         .set_defaults(func=_cmd_regenerate)
+
+    perf = sub.add_parser(
+        "perf",
+        help="rooflines, gap attribution, what-if advice, regression gate",
+        description="The repro.perf subsystem: compare runs against "
+                    "hardware speed-of-light bounds (analyze), rank the "
+                    "Section 6.1 optimizations by predicted speedup "
+                    "(advise), and defend per-cell runtimes over time "
+                    "(baseline record/check; a failed check exits 7).",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    analyze = perf_sub.add_parser(
+        "analyze",
+        help="roofline ratios; plus the gap decomposition vs native "
+             "for non-native frameworks")
+    analyze.add_argument("--framework", default="native", choices=FRAMEWORKS)
+    analyze.add_argument("--algorithms",
+                         help="comma-separated subset (default: all four)")
+    analyze.add_argument("--nodes", default="1,4",
+                         help="comma-separated node counts (default: 1,4)")
+    analyze.add_argument("--json", action="store_true")
+    analyze.set_defaults(func=_cmd_perf_analyze)
+
+    advise = perf_sub.add_parser(
+        "advise", help="rank the Figure 7 what-ifs for one workload")
+    advise.add_argument("algorithm", choices=ALGORITHMS)
+    advise.add_argument("--nodes", type=int, default=4)
+    advise.add_argument("--json", action="store_true")
+    advise.set_defaults(func=_cmd_perf_advise)
+
+    baseline = perf_sub.add_parser(
+        "baseline", help="record/check BENCH_*.json perf baselines")
+    baseline.add_argument("action", choices=("record", "check", "list"))
+    baseline.add_argument("--out", default="BENCH_perf.json",
+                          help="baseline file to record (default: "
+                               "BENCH_perf.json)")
+    baseline.add_argument("--baseline", default="BENCH_perf.json",
+                          help="baseline file to check against")
+    baseline.add_argument("--tolerance", type=float, default=0.05,
+                          help="allowed relative slowdown (default: 0.05)")
+    baseline.add_argument("--inject", default=None,
+                          help="synthetic slowdowns for gate self-tests, "
+                               "e.g. 'bfs/giraph=2.0' (';'-separated)")
+    baseline.add_argument("--algorithms",
+                          help="comma-separated subset (record only)")
+    baseline.add_argument("--frameworks",
+                          help="comma-separated subset (record only; "
+                               "default: native,combblas,graphlab,giraph)")
+    baseline.add_argument("--nodes", default="1,4",
+                          help="comma-separated node counts (record only)")
+    baseline.add_argument("--benchmarks",
+                          help="also time these registered wall-clock "
+                               "benchmarks ('all' for every one; advisory)")
+    baseline.add_argument("--json", action="store_true")
+    baseline.set_defaults(func=_cmd_perf_baseline)
 
     rep = sub.add_parser("report",
                          help="full markdown reproduction report")

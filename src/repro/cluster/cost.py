@@ -118,6 +118,29 @@ class CostModel:
         """Which resource limits this work ('memory' or 'cpu')."""
         return "memory" if self.memory_time(work) >= self.cpu_time(work) else "cpu"
 
+    # -- speed-of-light floors (repro.perf roofline) ------------------------
+    #
+    # Same formulas as memory_time/cpu_time but with every software knob
+    # at its physical best: all cores, full efficiency and memory
+    # parallelism, prefetch on. For any ComputeWork carrying these byte
+    # and op counts, memory_time(work) >= memory_floor_s(...) and
+    # cpu_time(work) >= cpu_floor_s(...) — the roofline ratio is >= 1 by
+    # construction.
+
+    def memory_floor_s(self, streamed_bytes: float,
+                       random_bytes: float) -> float:
+        """Minimum DRAM seconds to move the given bytes on one node."""
+        best_random = min(self.node.random_bandwidth * PREFETCH_RANDOM_SPEEDUP,
+                          self.node.stream_bandwidth)
+        return (streamed_bytes / self.node.stream_bandwidth
+                + random_bytes / best_random)
+
+    def cpu_floor_s(self, ops: float) -> float:
+        """Minimum ALU seconds for the given ops on one node."""
+        if ops == 0:
+            return 0.0
+        return ops / self.node.compute_rate(1.0, 1.0)
+
     @staticmethod
     def step_time(compute_s: float, comm_s: float, overlap: bool) -> float:
         """Combine compute and communication for one node's superstep."""

@@ -72,7 +72,13 @@ class Cluster:
         # the paper-style DNF for cells that would run "too long".
         self.deadline_s = deadline_s
         self._iteration_started_at = 0.0
-        self._metrics = RunMetrics(num_nodes=spec.num_nodes)
+        self._metrics = RunMetrics(
+            num_nodes=spec.num_nodes,
+            node_streamed_bytes=np.zeros(spec.num_nodes),
+            node_random_bytes=np.zeros(spec.num_nodes),
+            node_ops=np.zeros(spec.num_nodes),
+            node_bytes_sent=np.zeros(spec.num_nodes),
+        )
         # -- chaos: fault schedule + recovery protocol ---------------------
         # ``faults`` is a repro.chaos.FaultSchedule (or None: the happy
         # path, with zero chaos overhead). ``recovery`` is the framework's
@@ -153,10 +159,13 @@ class Cluster:
                 and self.recovery.checkpoint_due(step_index):
             self._write_checkpoint(step_index)
         work = self._normalize_work(work)
-        compute_times = np.array(
-            [self.cost.compute_time(w.scaled(self.scale_factor)) for w in work]
-        )
+        scaled = [w.scaled(self.scale_factor) for w in work]
+        memory_times = np.array([self.cost.memory_time(s) for s in scaled])
+        cpu_times = np.array([self.cost.cpu_time(s) for s in scaled])
+        compute_times = np.maximum(memory_times, cpu_times)
         if step_faults is not None and step_faults.compute_factors is not None:
+            memory_times = memory_times * step_faults.compute_factors
+            cpu_times = cpu_times * step_faults.compute_factors
             compute_times = compute_times * step_faults.compute_factors
 
         if traffic is None:
@@ -185,10 +194,22 @@ class Cluster:
         metrics.busy_core_seconds += busy
         metrics.total_core_seconds += step_time * self.num_nodes * self.spec.node.cores
         metrics.bytes_sent_total += report.total_bytes
-        metrics.memory_bytes_total += sum(
-            (w.streamed_bytes + w.random_bytes) * self.scale_factor
-            for w in work
-        )
+        streamed_bytes = np.array([s.streamed_bytes for s in scaled])
+        random_bytes = np.array([s.random_bytes for s in scaled])
+        ops = np.array([s.ops for s in scaled])
+        metrics.memory_bytes_total += float(streamed_bytes.sum()
+                                            + random_bytes.sum())
+        metrics.ops_total += float(ops.sum())
+        metrics.streamed_bytes_total += float(streamed_bytes.sum())
+        metrics.random_bytes_total += float(random_bytes.sum())
+        metrics.node_streamed_bytes += streamed_bytes
+        metrics.node_random_bytes += random_bytes
+        metrics.node_ops += ops
+        metrics.node_bytes_sent += np.asarray(report.bytes_out,
+                                              dtype=np.float64)
+        metrics.memory_time_s += float(memory_times.max())
+        metrics.cpu_time_s += float(cpu_times.max())
+        metrics.overhead_time_s += overhead_s
         metrics.peak_network_bandwidth = max(
             metrics.peak_network_bandwidth, report.peak_bandwidth
         )
@@ -198,6 +219,10 @@ class Cluster:
             comm_s=float(report.comm_times.max()),
             bytes_sent=report.total_bytes,
             peak_bandwidth=report.peak_bandwidth,
+            memory_s=float(memory_times.max()),
+            cpu_s=float(cpu_times.max()),
+            overhead_s=overhead_s,
+            overlap=overlap,
         ))
 
         tracer = self.tracer
@@ -248,6 +273,7 @@ class Cluster:
         """Advance the clock by an already-recorded out-of-band cost."""
         self._elapsed += seconds
         self._metrics.total_time_s += seconds
+        self._metrics.charged_time_s += seconds
         self._metrics.total_core_seconds += (
             seconds * self.num_nodes * self.spec.node.cores
         )
@@ -340,6 +366,7 @@ class Cluster:
         self.tracer.record("tick", self._elapsed, seconds)
         self._elapsed += seconds
         self._metrics.total_time_s += seconds
+        self._metrics.tick_time_s += seconds
         self._metrics.total_core_seconds += (
             seconds * self.num_nodes * self.spec.node.cores
         )

@@ -97,3 +97,20 @@ class NodeFailure(ReproError):
 
 class SimulationError(ReproError):
     """The cluster simulator was used inconsistently."""
+
+
+class PerfRegression(ReproError):
+    """The perf gate found cells slower than the recorded baseline.
+
+    Raised by :meth:`repro.perf.baselines.GateReport.raise_if_failed`;
+    carries the full typed report so CI logs and tooling can name the
+    regressed cells without parsing the message.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        cells = ", ".join(check.cell for check in report.regressions)
+        super().__init__(
+            f"{len(report.regressions)} cell(s) regressed beyond "
+            f"{100 * report.tolerance:.0f}% tolerance: {cells}"
+        )

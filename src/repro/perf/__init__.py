@@ -1,0 +1,73 @@
+"""Performance subsystem: rooflines, gap attribution, advice, gating.
+
+Four parts, all built on the run metrics and calibrated constants the
+rest of the package already measures:
+
+* :mod:`~repro.perf.model` — speed-of-light lower bounds per cell and
+  achieved-vs-bound ratios (the paper's Table 4 argument, generalized);
+* :mod:`~repro.perf.attribution` — exact multiplicative decomposition
+  of a framework's gap over native (the Section 5.4 Giraph breakdown);
+* :mod:`~repro.perf.advisor` — simulate the Figure 7 what-ifs and rank
+  them by predicted speedup;
+* :mod:`~repro.perf.baselines` — record deterministic per-cell runtimes
+  to ``BENCH_*.json`` and fail on regressions (``repro perf baseline``).
+"""
+
+from .advisor import WHAT_IFS, Advice, advise, advise_cell
+from .attribution import GapAttribution, GapFactor, attribute, \
+    attribute_cell, classify
+from .baselines import (
+    DEFAULT_BASELINE,
+    DEFAULT_TOLERANCE,
+    GATE_FRAMEWORKS,
+    GATE_NODE_COUNTS,
+    CellCheck,
+    GateReport,
+    cell_key,
+    check,
+    load_baseline,
+    measure_cells,
+    measure_wall_clock,
+    parse_injection,
+    record,
+)
+from .model import Roofline, roofline_of, roofline_of_run, roofline_table
+from .report import (
+    render_advice,
+    render_attribution,
+    render_gate,
+    render_roofline,
+)
+
+__all__ = [
+    "Advice",
+    "CellCheck",
+    "DEFAULT_BASELINE",
+    "DEFAULT_TOLERANCE",
+    "GATE_FRAMEWORKS",
+    "GATE_NODE_COUNTS",
+    "GapAttribution",
+    "GapFactor",
+    "GateReport",
+    "Roofline",
+    "WHAT_IFS",
+    "advise",
+    "advise_cell",
+    "attribute",
+    "attribute_cell",
+    "cell_key",
+    "check",
+    "classify",
+    "load_baseline",
+    "measure_cells",
+    "measure_wall_clock",
+    "parse_injection",
+    "record",
+    "render_advice",
+    "render_attribution",
+    "render_gate",
+    "render_roofline",
+    "roofline_of",
+    "roofline_of_run",
+    "roofline_table",
+]

@@ -1,0 +1,285 @@
+"""Perf-regression gate: record per-cell baselines, fail on slowdowns.
+
+A reproduction study defends its numbers over time or loses them to
+drift: a cost-model tweak that silently doubles Giraph's BFS time is as
+much a regression as a broken test. This module records the simulated
+runtime of every gate cell (algorithm x framework x nodes on the
+standard weak-scaling datasets) to a ``BENCH_*.json`` baseline, and
+compares later runs against it with a configurable tolerance.
+
+Two classes of entries:
+
+* **cells** — simulated runtimes. Deterministic by construction (the
+  simulator has no wall-clock inputs), so an unchanged tree reproduces
+  the baseline *byte-for-byte* and any drift is a real model change.
+  These gate.
+* **wall_clock** — elapsed seconds of registered harness benchmarks
+  (the ``benchmarks/`` registry). Machine- and load-dependent, so they
+  are recorded for trend-watching but never fail the gate on their own.
+
+``inject`` multiplies matching current cells by a factor before
+comparison — the CI self-test that proves the gate actually fires.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import PerfRegression, ReproError
+from ..harness.persistence import atomic_write_text
+
+#: Default baseline file, at the repo root by convention.
+DEFAULT_BASELINE = "BENCH_perf.json"
+
+#: Allowed relative slowdown before a cell fails the gate.
+DEFAULT_TOLERANCE = 0.05
+
+#: The gate's framework suite: the native yardstick plus one framework
+#: per engine family that completes every workload.
+GATE_FRAMEWORKS = ("native", "combblas", "graphlab", "giraph")
+GATE_NODE_COUNTS = (1, 4)
+
+_BASELINE_KIND = "perf-baseline"
+
+
+def cell_key(algorithm: str, framework: str, nodes: int) -> str:
+    return f"{algorithm}/{framework}/{nodes}"
+
+
+def measure_cells(algorithms=None, frameworks=GATE_FRAMEWORKS,
+                  node_counts=GATE_NODE_COUNTS) -> dict:
+    """Simulated runtime (or DNF status) of every gate cell."""
+    from ..algorithms.registry import ALGORITHMS
+    from ..harness.datasets import weak_scaling_dataset
+    from ..harness.runner import run_experiment
+
+    algorithms = tuple(algorithms) if algorithms else ALGORITHMS
+    cells = {}
+    for algorithm in algorithms:
+        for framework in frameworks:
+            for nodes in node_counts:
+                data, factor = weak_scaling_dataset(algorithm, nodes)
+                run = run_experiment(algorithm, framework, data, nodes=nodes,
+                                     scale_factor=factor)
+                cells[cell_key(algorithm, framework, nodes)] = {
+                    "status": run.status,
+                    "runtime_s": run.runtime_or_none(),
+                }
+    return cells
+
+
+def measure_wall_clock(names=()) -> dict:
+    """Elapsed seconds of registered ``benchmarks/`` producers.
+
+    Resolves ``names`` through the benchmark registry
+    (``benchmarks.conftest``); ``names=("all",)`` times every registered
+    benchmark. Advisory: wall time depends on the machine.
+    """
+    if not names:
+        return {}
+    try:
+        from benchmarks.conftest import load_benchmarks
+    except ImportError as error:
+        raise ReproError(
+            "wall-clock benchmarks need the repo's benchmarks/ package "
+            f"on sys.path (run from the repo root): {error}"
+        ) from None
+    registry = load_benchmarks()
+    if "all" in names:
+        names = tuple(sorted(registry))
+    out = {}
+    for name in names:
+        if name not in registry:
+            known = ", ".join(sorted(registry))
+            raise ReproError(f"unknown benchmark {name!r}; known: {known}")
+        bench = registry[name]
+        start = time.perf_counter()
+        bench.producer()
+        out[name] = {
+            "seconds": time.perf_counter() - start,
+            "artifact": bench.artifact,
+            "advisory": True,
+        }
+    return out
+
+
+def record(path=DEFAULT_BASELINE, algorithms=None,
+           frameworks=GATE_FRAMEWORKS, node_counts=GATE_NODE_COUNTS,
+           benchmarks=()) -> dict:
+    """Measure every gate cell and write the baseline file.
+
+    The ``cells`` section is deterministic, so recording twice on an
+    unchanged tree produces byte-identical data; ``benchmarks`` names
+    add advisory wall-clock entries (nondeterministic by nature).
+    """
+    from ..algorithms.registry import ALGORITHMS
+
+    algorithms = tuple(algorithms) if algorithms else ALGORITHMS
+    payload = {
+        "kind": _BASELINE_KIND,
+        "version": 1,
+        "config": {
+            "algorithms": list(algorithms),
+            "frameworks": list(frameworks),
+            "node_counts": list(node_counts),
+        },
+        "cells": measure_cells(algorithms, frameworks, node_counts),
+        "wall_clock": measure_wall_clock(benchmarks),
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n")
+    return payload
+
+
+def load_baseline(path=DEFAULT_BASELINE) -> dict:
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no perf baseline at {path}; record one with "
+                         f"'repro perf baseline record --out {path}'")
+    payload = json.loads(path.read_text())
+    if payload.get("kind") != _BASELINE_KIND:
+        raise ReproError(f"{path} is not a perf baseline file")
+    return payload
+
+
+def parse_injection(spec) -> dict:
+    """``"pattern=factor"`` (``;``-separated) -> ``{pattern: factor}``."""
+    if not spec:
+        return {}
+    if isinstance(spec, dict):
+        return {str(key): float(value) for key, value in spec.items()}
+    out = {}
+    for part in str(spec).split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ReproError(
+                f"bad injection {part!r}; expected 'pattern=factor', e.g. "
+                "'bfs/giraph=2.0'")
+        pattern, factor = part.rsplit("=", 1)
+        out[pattern.strip()] = float(factor)
+    return out
+
+
+@dataclass(frozen=True)
+class CellCheck:
+    """One gate cell's comparison against its baseline."""
+
+    cell: str
+    kind: str              # ok | regression | improvement | status-change
+    baseline: object       # seconds, or a status string
+    current: object
+    ratio: float = 1.0     # current / baseline seconds (1.0 for statuses)
+
+    def to_dict(self) -> dict:
+        return {"cell": self.cell, "kind": self.kind,
+                "baseline": self.baseline, "current": self.current,
+                "ratio": self.ratio}
+
+
+@dataclass
+class GateReport:
+    """Typed outcome of one gate check."""
+
+    path: str
+    tolerance: float
+    checks: list = field(default_factory=list)
+    wall_clock: dict = field(default_factory=dict)
+    injected: dict = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> list:
+        return [check for check in self.checks
+                if check.kind in ("regression", "status-change")]
+
+    @property
+    def improvements(self) -> list:
+        return [check for check in self.checks if check.kind == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def raise_if_failed(self) -> "GateReport":
+        if not self.ok:
+            raise PerfRegression(self)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "path": str(self.path),
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "checked": len(self.checks),
+            "regressions": [check.to_dict() for check in self.regressions],
+            "improvements": [check.to_dict() for check in self.improvements],
+            "wall_clock": self.wall_clock,
+            "injected": self.injected,
+        }
+
+
+def check(path=DEFAULT_BASELINE, tolerance: float = DEFAULT_TOLERANCE,
+          inject=None) -> GateReport:
+    """Re-measure every baselined cell and compare against the file.
+
+    A cell regresses when its simulated runtime grows by more than
+    ``tolerance`` (relative), or when its DNF status changes at all
+    (an OOM cell that starts completing is as suspicious as the
+    reverse). Cells faster by more than the tolerance are reported as
+    improvements — worth re-recording, but not failures. Wall-clock
+    entries are re-timed and reported, never gated.
+    """
+    baseline = load_baseline(path)
+    config = baseline.get("config", {})
+    injections = parse_injection(inject)
+    current = measure_cells(config.get("algorithms") or None,
+                            tuple(config.get("frameworks",
+                                             GATE_FRAMEWORKS)),
+                            tuple(config.get("node_counts",
+                                             GATE_NODE_COUNTS)))
+
+    report = GateReport(path=str(path), tolerance=tolerance,
+                        injected=injections)
+    for cell, recorded in sorted(baseline["cells"].items()):
+        measured = current.get(cell)
+        if measured is None:
+            report.checks.append(CellCheck(
+                cell, "status-change", recorded["status"], "missing"))
+            continue
+        runtime = measured["runtime_s"]
+        for pattern, factor in injections.items():
+            if pattern in cell and runtime is not None:
+                runtime = runtime * factor
+        if recorded["status"] != measured["status"]:
+            report.checks.append(CellCheck(
+                cell, "status-change", recorded["status"],
+                measured["status"]))
+            continue
+        if recorded["runtime_s"] is None:
+            report.checks.append(CellCheck(
+                cell, "ok", recorded["status"], measured["status"]))
+            continue
+        ratio = runtime / recorded["runtime_s"]
+        if ratio > 1.0 + tolerance:
+            kind = "regression"
+        elif ratio < 1.0 - tolerance:
+            kind = "improvement"
+        else:
+            kind = "ok"
+        report.checks.append(CellCheck(cell, kind, recorded["runtime_s"],
+                                       runtime, ratio))
+
+    recorded_wall = baseline.get("wall_clock", {})
+    if recorded_wall:
+        remeasured = measure_wall_clock(tuple(sorted(recorded_wall)))
+        report.wall_clock = {
+            name: {"baseline_s": recorded_wall[name]["seconds"],
+                   "current_s": remeasured[name]["seconds"],
+                   "advisory": True}
+            for name in sorted(recorded_wall)
+        }
+    return report

@@ -1,0 +1,108 @@
+"""Text renderers for the perf subsystem (CLI and CI output)."""
+
+from __future__ import annotations
+
+
+def _fmt_seconds(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    return f"{value:.4g} s"
+
+
+def render_roofline(table: dict, title: str = "Roofline") -> str:
+    """Table-4-form achieved-vs-bound report."""
+    lines = [title, "=" * len(title), "",
+             f"{'workload':<26} {'nodes':>5} {'binding':<8} "
+             f"{'bound':>10} {'achieved':>10} {'ratio':>7}"]
+    for algorithm, per_nodes in table.items():
+        for nodes, cell in per_nodes.items():
+            if "ratio" not in cell:
+                lines.append(f"{algorithm:<26} {nodes:>5} "
+                             f"{cell.get('status', '?'):<8}")
+                continue
+            lines.append(
+                f"{algorithm:<26} {nodes:>5} {cell['binding']:<8} "
+                f"{cell['bound_s']:>8.4g} s {cell['achieved_s']:>8.4g} s "
+                f"{cell['ratio']:>6.2f}x")
+    lines.append("")
+    lines.append("ratio = achieved time / speed-of-light bound "
+                 "(paper's native kernels: 2-2.5x)")
+    return "\n".join(lines)
+
+
+def render_attribution(attribution) -> str:
+    """The paper-style multiplicative gap breakdown."""
+    a = attribution
+    lines = [
+        f"{a.framework} {a.algorithm} on {a.nodes} node(s): "
+        f"{a.gap:.1f}x native",
+        f"  framework: {a.framework_time_s:.4g} s ({a.binding}-bound)   "
+        f"native: {a.native_time_s:.4g} s ({a.native_binding}-bound)",
+        "",
+        f"  {'factor':<20} {'x':>8}  detail",
+    ]
+    for factor in a.factors:
+        detail = factor.detail
+        if factor.name == "superstep-overhead":
+            note = (f"{detail['framework_fixed_s']:.4g} s fixed over "
+                    f"{detail['supersteps']} supersteps "
+                    f"(vs {detail['native_fixed_s']:.4g} s native)")
+        elif factor.name == "network":
+            note = (f"{detail['wire_bytes_ratio']:.1f}x wire bytes, "
+                    f"{100 * detail['framework_network_utilization']:.1f}% "
+                    f"link utilization "
+                    f"(native "
+                    f"{100 * detail['native_network_utilization']:.1f}%)")
+        else:
+            note = (f"occupancy {detail['occupancy']:.1f}x, "
+                    f"sw efficiency {detail['software_efficiency']:.1f}x, "
+                    f"op inflation {detail['ops_inflation']:.1f}x")
+        lines.append(f"  {factor.name:<20} {factor.factor:>7.2f}x  {note}")
+    lines.append("")
+    lines.append(f"  product of factors = {a.product():.1f}x "
+                 f"(measured gap {a.gap:.1f}x; exact by construction)")
+    return "\n".join(lines)
+
+
+def render_advice(advice_list, algorithm: str = "") -> str:
+    """Ranked what-if table."""
+    head = f"Optimization advisor{': ' + algorithm if algorithm else ''}"
+    lines = [head, "-" * len(head),
+             f"{'option':<14} {'speedup':>8}  rationale"]
+    for advice in advice_list:
+        lines.append(f"{advice.option:<14} {advice.speedup:>7.2f}x  "
+                     f"{advice.rationale}")
+    return "\n".join(lines)
+
+
+def render_gate(report) -> str:
+    """Pass/fail summary naming every out-of-tolerance cell."""
+    lines = [f"perf gate vs {report.path} "
+             f"(tolerance {100 * report.tolerance:.0f}%): "
+             f"{len(report.checks)} cells checked"]
+    if report.injected:
+        inject = ", ".join(f"{pattern} x{factor:g}"
+                           for pattern, factor in report.injected.items())
+        lines.append(f"  injected slowdowns: {inject}")
+    for check in report.regressions:
+        if check.kind == "status-change":
+            lines.append(f"  REGRESSED {check.cell}: status "
+                         f"{check.baseline} -> {check.current}")
+        else:
+            lines.append(f"  REGRESSED {check.cell}: "
+                         f"{_fmt_seconds(check.baseline)} -> "
+                         f"{_fmt_seconds(check.current)} "
+                         f"({check.ratio:.2f}x)")
+    for check in report.improvements:
+        lines.append(f"  improved  {check.cell}: "
+                     f"{_fmt_seconds(check.baseline)} -> "
+                     f"{_fmt_seconds(check.current)} ({check.ratio:.2f}x; "
+                     f"re-record to lock in)")
+    for name, entry in report.wall_clock.items():
+        lines.append(f"  wall      {name}: {entry['baseline_s']:.2f} s -> "
+                     f"{entry['current_s']:.2f} s (advisory)")
+    lines.append("PASS: no cell regressed" if report.ok else
+                 f"FAIL: {len(report.regressions)} cell(s) regressed")
+    return "\n".join(lines)
