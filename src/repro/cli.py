@@ -8,7 +8,9 @@ Commands:
   and report what surviving the faults cost;
 * ``sweep`` — a durable, resumable multi-cell sweep (table5/table6/
   figure3/figure4/figure5) with per-cell deadlines, retry + quarantine
-  and a JSONL journal;
+  and a JSONL journal; ``--jobs N`` fans the cells over a process pool
+  with a byte-identical journal;
+* ``cache`` — inspect or clear the content-addressed dataset cache;
 * ``table N`` / ``figure N`` — regenerate one paper artifact;
 * ``perf`` — roofline bounds + gap attribution (``analyze``), ranked
   optimization what-ifs (``advise``) and the perf-regression gate
@@ -284,7 +286,7 @@ def _cmd_sweep(args) -> int:
     tracer = Tracer()
     engine = Sweep(args.target, journal=args.journal, resume=args.resume,
                    deadline_s=args.deadline, max_retries=args.max_retries,
-                   tracer=tracer)
+                   jobs=args.jobs, tracer=tracer)
     data = producer(sweep=engine, **kwargs)
     completeness = engine.last.completeness()
     if args.json:
@@ -361,6 +363,46 @@ def _cmd_figure(args) -> int:
         save_artifact(args.save, f"figure{args.number}", data)
         print(f"\nsaved to {args.save}")
     return 0
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or clear the content-addressed dataset cache."""
+    from .datagen import cache_entries, cache_stats, clear_cache
+    from .datagen.cache import cache_root
+
+    if args.action == "clear":
+        removed = clear_cache(stale_only=args.stale)
+        print(f"removed {removed} {'stale ' if args.stale else ''}"
+              f"entr{'y' if removed == 1 else 'ies'} from {cache_root()}")
+        return EXIT_OK
+    if args.action == "list":
+        listed = cache_entries()
+        if args.json:
+            print(json.dumps(listed, indent=2, sort_keys=True))
+            return EXIT_OK
+        if not listed:
+            print(f"cache at {cache_root()} is empty")
+            return EXIT_OK
+        for item in listed:
+            stale = "  STALE" if item["stale"] else ""
+            print(f"{item['key']}  {item['generator']:<22} "
+                  f"{item['kind']:<8} {item['bytes'] / 1e6:8.2f} MB{stale}")
+        print(f"{len(listed)} entries at {cache_root()}")
+        return EXIT_OK
+    # stats
+    summary = cache_stats()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(f"root          : {summary['root']}")
+    print(f"enabled       : {summary['enabled']}")
+    print(f"entries       : {summary['entries']} "
+          f"({summary['stale_entries']} stale)")
+    print(f"total size    : {summary['bytes'] / 1e6:.2f} MB")
+    for name, bucket in sorted(summary["by_generator"].items()):
+        print(f"  {name:<22} {bucket['entries']:>3} entries  "
+              f"{bucket['bytes'] / 1e6:8.2f} MB")
+    return EXIT_OK
 
 
 def _cmd_datasets(_args) -> int:
@@ -480,7 +522,8 @@ def _cmd_perf_baseline(args) -> int:
         payload = perf.record(path=args.out, algorithms=algorithms,
                               frameworks=frameworks,
                               node_counts=_parse_node_counts(args.nodes),
-                              benchmarks=benchmarks)
+                              benchmarks=benchmarks,
+                              parallel_jobs=args.parallel_jobs)
         if args.json:
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
@@ -488,6 +531,8 @@ def _cmd_perf_baseline(args) -> int:
                   + (f" + {len(payload['wall_clock'])} wall-clock "
                      f"benchmarks" if payload["wall_clock"] else "")
                   + f" to {args.out}")
+            if "parallel" in payload:
+                print(perf.render_parallel(payload["parallel"]))
         return EXIT_OK
     # check
     report = perf.check(path=args.baseline, tolerance=args.tolerance,
@@ -585,6 +630,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retries (with capped exponential backoff) "
                             "before a cell with unexpected errors is "
                             "quarantined (default: 2)")
+    sweep.add_argument("--jobs", type=int, nargs="?", const=0, default=1,
+                       help="worker processes for cell execution; bare "
+                            "--jobs (or 0) means all cores, default 1 "
+                            "runs serially. The journal is byte-identical "
+                            "for every worker count")
     sweep.add_argument("--frameworks",
                        help="comma-separated framework subset")
     sweep.add_argument("--algorithms",
@@ -678,8 +728,29 @@ def build_parser() -> argparse.ArgumentParser:
     baseline.add_argument("--benchmarks",
                           help="also time these registered wall-clock "
                                "benchmarks ('all' for every one; advisory)")
+    baseline.add_argument("--parallel-jobs", type=int, nargs="?", const=0,
+                          default=None,
+                          help="also record the pool-overhead/speedup "
+                               "advisory for a parallel sweep with this "
+                               "many workers (bare flag or 0 = all cores; "
+                               "record only)")
     baseline.add_argument("--json", action="store_true")
     baseline.set_defaults(func=_cmd_perf_baseline)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed dataset cache",
+        description="Manage the on-disk dataset cache "
+                    "($REPRO_CACHE_DIR, default .repro_cache): list "
+                    "entries, show aggregate stats, or delete entries "
+                    "(--stale keeps ones matching the current code "
+                    "version).")
+    cache.add_argument("action", choices=("list", "clear", "stats"))
+    cache.add_argument("--stale", action="store_true",
+                       help="clear only entries recorded under a "
+                            "different datagen code version")
+    cache.add_argument("--json", action="store_true")
+    cache.set_defaults(func=_cmd_cache)
 
     rep = sub.add_parser("report",
                          help="full markdown reproduction report")

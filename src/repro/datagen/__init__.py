@@ -1,5 +1,16 @@
 """Synthetic data generators and the dataset catalog (paper Section 4.1)."""
 
+from .cache import (
+    cache_enabled,
+    cache_root,
+    clear as clear_cache,
+    code_version,
+    disk_cached,
+    entries as cache_entries,
+    freeze_dataset,
+    get_or_build,
+    stats as cache_stats,
+)
 from .ratings import (
     filter_min_degree,
     fold_to_bipartite,
@@ -29,6 +40,15 @@ from .rmat import (
 __all__ = [
     "CATALOG",
     "DOWNSCALE",
+    "cache_enabled",
+    "cache_entries",
+    "cache_root",
+    "cache_stats",
+    "clear_cache",
+    "code_version",
+    "disk_cached",
+    "freeze_dataset",
+    "get_or_build",
     "GRAPH500_PARAMS",
     "RATINGS_PARAMS",
     "SINGLE_NODE_GRAPHS",

@@ -1,0 +1,318 @@
+"""Content-addressed on-disk cache for generated datasets.
+
+Every sweep cell, benchmark and worker process used to regenerate its
+RMAT graphs and ratings matrices from scratch (or at best share a
+per-process ``functools.lru_cache``). Generation is deterministic, so
+that work is pure waste: the same ``(generator, params, seed)`` always
+produces the same arrays. This module gives the generators a shared
+disk cache:
+
+* **Content-addressed keys.** An entry's identity is the SHA-256 of the
+  canonical JSON of ``{generator, params (defaults applied), code
+  version}``. The *code-version salt* is a hash over the source of
+  every ``repro.datagen`` module, so editing a generator invalidates
+  its entries without any manual versioning.
+* **Memory-mapped loads.** Arrays are stored as raw ``.npy`` files and
+  loaded with ``mmap_mode="r"``: a warm hit costs an ``open`` + page
+  faults, not an allocation + copy, and every worker process of a
+  parallel sweep shares the page cache for one generation pass.
+* **Read-only by construction.** Loaded arrays are immutable (read-only
+  mmaps), and freshly built arrays are frozen with
+  ``setflags(write=False)`` before anyone sees them — the fix for the
+  cross-cell aliasing hazard where one cell could mutate a cached
+  ``CSRGraph`` and poison every later cell.
+* **Crash/concurrency safety.** An entry is built in a temp directory
+  and published with one ``os.replace``; concurrent writers race
+  benignly (first replace wins, losers discard their temp dir).
+* **Observable.** Hits, misses and stores are mirrored as tracer
+  instants (``dataset-cache-hit`` / ``-miss`` / ``-store``) on the
+  active tracer, so a sweep's flight record proves whether generation
+  actually happened.
+
+The cache root is ``$REPRO_CACHE_DIR`` when set, else ``.repro_cache``
+under the current directory. ``REPRO_DATASET_CACHE=0`` disables disk
+caching entirely (generators still freeze their outputs).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import json
+import os
+import shutil
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from ..observability import NULL_TRACER
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the disk cache ("0"/"off"/"false").
+CACHE_ENABLE_ENV = "REPRO_DATASET_CACHE"
+
+_DEFAULT_ROOT = ".repro_cache"
+_META_NAME = "meta.json"
+
+#: The tracer cache events land on; swapped per cell by the sweep
+#: engine via :func:`use_tracer` (one per process — workers each bind
+#: their own).
+_TRACER = NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Route cache instants to ``tracer`` for the duration of the block."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else NULL_TRACER
+    try:
+        yield
+    finally:
+        _TRACER = previous
+
+
+def cache_enabled() -> bool:
+    return os.environ.get(CACHE_ENABLE_ENV, "1").lower() \
+        not in ("0", "off", "false", "no")
+
+
+def cache_root() -> Path:
+    """The cache directory currently in effect (may not exist yet)."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or _DEFAULT_ROOT)
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hash of every ``repro.datagen`` source file: the invalidation salt.
+
+    Any edit to a generator (or to this cache module) changes the salt,
+    which changes every key, which orphans stale entries instead of
+    serving data a different implementation would no longer produce.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(Path(__file__).parent.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def _normalize(value):
+    """Canonical JSON-safe form of one generator parameter."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_normalize(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _normalize(val) for key, val in value.items()}
+    if hasattr(value, "__dataclass_fields__"):   # e.g. RMATParams
+        return {name: _normalize(getattr(value, name))
+                for name in sorted(value.__dataclass_fields__)}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    raise TypeError(
+        f"cannot derive a cache key from parameter of type "
+        f"{type(value).__name__}"
+    )
+
+
+def entry_key(generator: str, params: dict) -> str:
+    """Content address of one cache entry (hex digest)."""
+    canonical = json.dumps(
+        {"generator": generator, "params": _normalize(params),
+         "version": code_version()},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+def freeze_dataset(data):
+    """Make a dataset's arrays immutable in place; returns it.
+
+    Cached datasets are shared across cells (and, via the page cache,
+    across worker processes); a writable array here is the aliasing
+    hazard this module exists to close.
+    """
+    for array in _arrays_of(data).values():
+        if isinstance(array, np.ndarray) and array.flags.writeable:
+            array.setflags(write=False)
+    return data
+
+
+# -- (de)serialization -------------------------------------------------------
+
+def _arrays_of(data) -> dict:
+    from ..graph import CSRGraph, RatingsMatrix
+
+    if isinstance(data, CSRGraph):
+        arrays = {"offsets": data.offsets, "targets": data.targets}
+        if data.edge_weights is not None:
+            arrays["edge_weights"] = data.edge_weights
+        return arrays
+    if isinstance(data, RatingsMatrix):
+        return {"users": data.users, "items": data.items,
+                "ratings": data.ratings}
+    raise TypeError(f"cannot cache dataset of type {type(data).__name__}")
+
+
+def _scalars_of(data) -> dict:
+    from ..graph import CSRGraph
+
+    if isinstance(data, CSRGraph):
+        return {"kind": "csr", "num_vertices": data.num_vertices}
+    return {"kind": "ratings", "num_users": data.num_users,
+            "num_items": data.num_items}
+
+
+def _materialize(meta: dict, arrays: dict):
+    from ..graph import CSRGraph, RatingsMatrix
+
+    if meta["kind"] == "csr":
+        return CSRGraph(meta["num_vertices"], arrays["offsets"],
+                        arrays["targets"], arrays.get("edge_weights"))
+    return RatingsMatrix(meta["num_users"], meta["num_items"],
+                         arrays["users"], arrays["items"],
+                         arrays["ratings"])
+
+
+def _store(entry: Path, generator: str, params: dict, data) -> None:
+    """Publish one entry atomically (temp dir + ``os.replace``)."""
+    entry.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(dir=entry.parent,
+                                prefix=entry.name + ".tmp."))
+    try:
+        for name, array in _arrays_of(data).items():
+            np.save(tmp / f"{name}.npy", np.ascontiguousarray(array))
+        meta = {**_scalars_of(data), "generator": generator,
+                "params": _normalize(params), "version": code_version()}
+        (tmp / _META_NAME).write_text(json.dumps(meta, sort_keys=True,
+                                                 indent=2) + "\n")
+        os.replace(tmp, entry)
+    except OSError:
+        # Lost a race (entry exists) or the rename failed: the existing
+        # entry is authoritative either way.
+        shutil.rmtree(tmp, ignore_errors=True)
+        if not (entry / _META_NAME).exists():
+            raise
+
+
+def _load(entry: Path):
+    meta = json.loads((entry / _META_NAME).read_text())
+    arrays = {
+        path.stem: np.load(path, mmap_mode="r")
+        for path in sorted(entry.glob("*.npy"))
+    }
+    return _materialize(meta, arrays)
+
+
+def get_or_build(generator: str, params: dict, build):
+    """The cache's one lookup: load the entry or build + publish it.
+
+    Returns the *loaded* (memory-mapped, immutable) dataset on both
+    paths, so cold and warm runs hand out indistinguishable objects.
+    Falls back to a frozen in-memory build when caching is disabled or
+    the entry cannot be written (read-only filesystem).
+    """
+    if not cache_enabled():
+        return freeze_dataset(build())
+    key = entry_key(generator, params)
+    entry = cache_root() / key
+    if (entry / _META_NAME).exists():
+        _TRACER.instant("dataset-cache-hit", generator=generator, key=key)
+        return freeze_dataset(_load(entry))
+    _TRACER.instant("dataset-cache-miss", generator=generator, key=key)
+    data = build()
+    try:
+        _store(entry, generator, params, data)
+    except OSError:
+        return freeze_dataset(data)
+    _TRACER.instant("dataset-cache-store", generator=generator, key=key)
+    return freeze_dataset(_load(entry))
+
+
+def disk_cached(generator: str):
+    """Decorator wiring one dataset generator through the disk cache.
+
+    The cache key binds the call's full signature (defaults applied),
+    so ``rmat_graph(10)`` and ``rmat_graph(scale=10, edge_factor=16)``
+    share one entry. The undecorated function stays reachable as
+    ``fn.__wrapped__`` for tests that need a fresh, writable build.
+    """
+
+    def wrap(fn):
+        signature = inspect.signature(fn)
+
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            return get_or_build(generator, dict(bound.arguments),
+                                lambda: fn(*args, **kwargs))
+
+        return inner
+
+    return wrap
+
+
+# -- management (the ``repro cache`` subcommand) -----------------------------
+
+def entries(root=None) -> list:
+    """All cache entries as dicts: key, generator, kind, size, files."""
+    root = Path(root) if root is not None else cache_root()
+    if not root.exists():
+        return []
+    out = []
+    for entry in sorted(root.iterdir()):
+        meta_path = entry / _META_NAME
+        if not entry.is_dir() or not meta_path.exists():
+            continue
+        meta = json.loads(meta_path.read_text())
+        size = sum(path.stat().st_size for path in entry.iterdir())
+        out.append({
+            "key": entry.name,
+            "generator": meta.get("generator", "?"),
+            "kind": meta.get("kind", "?"),
+            "params": meta.get("params", {}),
+            "version": meta.get("version", "?"),
+            "bytes": size,
+            "stale": meta.get("version") != code_version(),
+        })
+    return out
+
+
+def stats(root=None) -> dict:
+    """Aggregate cache statistics (for ``repro cache stats``)."""
+    root = Path(root) if root is not None else cache_root()
+    listed = entries(root)
+    by_generator = {}
+    for item in listed:
+        bucket = by_generator.setdefault(
+            item["generator"], {"entries": 0, "bytes": 0})
+        bucket["entries"] += 1
+        bucket["bytes"] += item["bytes"]
+    return {
+        "root": str(root),
+        "enabled": cache_enabled(),
+        "entries": len(listed),
+        "bytes": sum(item["bytes"] for item in listed),
+        "stale_entries": sum(1 for item in listed if item["stale"]),
+        "by_generator": by_generator,
+    }
+
+
+def clear(root=None, stale_only: bool = False) -> int:
+    """Delete cache entries; returns how many were removed."""
+    root = Path(root) if root is not None else cache_root()
+    removed = 0
+    for item in entries(root):
+        if stale_only and not item["stale"]:
+            continue
+        shutil.rmtree(root / item["key"], ignore_errors=True)
+        removed += 1
+    return removed

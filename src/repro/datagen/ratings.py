@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import EdgeList, RatingsMatrix
+from .cache import disk_cached
 from .rmat import RATINGS_PARAMS, RMATParams, rmat_edges
 
 # Marginal distribution of star values in the Netflix Prize training set.
@@ -64,6 +65,7 @@ def filter_min_degree(edges: EdgeList, num_items: int, min_degree: int = 5):
     return src, dst
 
 
+@disk_cached("netflix_like_ratings")
 def netflix_like_ratings(scale: int, num_items: int, edge_factor: int = 16,
                          seed: int = 0, min_degree: int = 5) -> RatingsMatrix:
     """Full paper pipeline: RMAT -> fold -> degree filter -> star values.

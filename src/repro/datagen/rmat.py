@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph import CSRGraph, EdgeList
+from .cache import disk_cached
 
 GRAPH500_PARAMS = (0.57, 0.19, 0.19)
 TRIANGLE_PARAMS = (0.45, 0.15, 0.15)
@@ -86,6 +87,7 @@ def rmat_edges(scale: int, edge_factor: int = 16, params: RMATParams = None,
     return EdgeList(num_vertices, permutation[src], permutation[dst])
 
 
+@disk_cached("rmat_graph")
 def rmat_graph(scale: int, edge_factor: int = 16, params: RMATParams = None,
                seed: int = 0, directed: bool = True) -> CSRGraph:
     """Deduplicated, loop-free CSR graph from RMAT edges.
@@ -100,6 +102,7 @@ def rmat_graph(scale: int, edge_factor: int = 16, params: RMATParams = None,
     return CSRGraph.from_edges(edges)
 
 
+@disk_cached("rmat_triangle_graph")
 def rmat_triangle_graph(scale: int, edge_factor: int = 16,
                         seed: int = 0) -> CSRGraph:
     """Triangle-counting input exactly as the paper prepares it.

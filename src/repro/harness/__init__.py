@@ -25,13 +25,23 @@ from .runner import (
     run_experiment,
 )
 from .strong_scaling import parallel_efficiency, strong_scaling
-from .sweep import CellOutcome, CellRecord, Sweep, SweepResult, outcome_of
+from .sweep import (
+    CellOutcome,
+    CellPolicy,
+    CellRecord,
+    Sweep,
+    SweepResult,
+    execute_cell,
+    outcome_of,
+)
 from .tables import table1, table2, table3, table4, table5, table6, table7
 
 __all__ = [
     "CELL_STATUSES",
     "CellOutcome",
+    "CellPolicy",
     "CellRecord",
+    "execute_cell",
     "Graph500Result",
     "STATUS_FAILED",
     "STATUS_TIMEOUT",

@@ -116,6 +116,19 @@ def scale_factor_for(algorithm: str, paper_size: float,
     return ratio
 
 
+def clear_proxy_caches() -> None:
+    """Drop the per-process proxy memoization (not the disk cache).
+
+    Cold/warm cache experiments need the next dataset request to reach
+    :mod:`repro.datagen.cache` instead of being absorbed by the
+    ``lru_cache`` layer above it.
+    """
+    single_node_graph.cache_clear()
+    single_node_ratings.cache_clear()
+    weak_scaling_graph.cache_clear()
+    weak_scaling_ratings.cache_clear()
+
+
 def weak_scaling_dataset(algorithm: str, nodes: int):
     """(dataset, scale_factor) for one weak-scaling point."""
     if algorithm == "collaborative_filtering":

@@ -46,6 +46,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..datagen import cache as _dataset_cache
 from ..errors import (
     CapacityError,
     DeadlineExceeded,
@@ -175,15 +176,18 @@ class SweepJournal:
 
     Line 1 is a header (sweep name, journal version, engine config),
     written atomically via temp-file + ``os.replace``; every line after
-    it is one completed :class:`CellRecord`, appended with
-    flush + fsync so a kill loses at most the line being written. The
-    loader drops a torn trailing line (the mid-write crash signature)
-    but refuses garbage anywhere else.
+    it is one completed :class:`CellRecord`. Appends go through an
+    ``O_APPEND`` descriptor with exactly **one** ``write`` + ``fsync``
+    per record: POSIX appends of one buffer do not interleave, so even
+    a burst of completions (the parallel executor draining its merge
+    buffer) can tear at most the final record mid-write — never
+    interleave two. The loader drops a torn trailing line (the
+    mid-write crash signature) but refuses garbage anywhere else.
     """
 
     def __init__(self, path):
         self.path = Path(path)
-        self._handle = None
+        self._fd = None
         # Set by load() when the file ends in a torn line: the intact
         # prefix that open() must restore before appending, so a new
         # record never concatenates onto the partial one.
@@ -236,18 +240,99 @@ class SweepJournal:
         elif self._repaired_text is not None:
             atomic_write_text(self.path, self._repaired_text)
             self._repaired_text = None
-        self._handle = open(self.path, "a")
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                           0o644)
 
     def append(self, record: CellRecord) -> None:
         line = json.dumps(_jsonable(record.to_dict()), sort_keys=True)
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        # One write per record: an O_APPEND write of a single buffer is
+        # atomic with respect to other appends, so a crash mid-burst
+        # tears at most this line and never splices two records.
+        os.write(self._fd, (line + "\n").encode())
+        os.fsync(self._fd)
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+
+@dataclass(frozen=True)
+class CellPolicy:
+    """Per-cell execution policy, shared by serial and parallel paths.
+
+    A plain picklable value object: the parallel executor ships one to
+    every worker so a cell behaves identically no matter which process
+    (or how many) runs it.
+    """
+
+    deadline_s: float = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 8.0
+
+
+def execute_cell(key: dict, execute, policy: CellPolicy,
+                 tracer=None, sleep=None) -> CellRecord:
+    """One cell behind its isolation boundary, with the retry policy.
+
+    The single implementation of the engine's failure semantics —
+    typed-failure classification, capped-exponential-backoff retries,
+    quarantine — used verbatim by :class:`Sweep` in-process and by
+    every :mod:`repro.harness.parallel` worker, so scheduling can never
+    change what a cell records. Dataset-cache instants emitted while
+    the cell runs land on ``tracer``.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    attempts = 0
+    backoffs = []
+    while True:
+        attempts += 1
+        with tracer.span("cell", attempt=attempts, **key), \
+                _dataset_cache.use_tracer(tracer):
+            try:
+                outcome = execute(key, budget_s=policy.deadline_s)
+            except _TYPED_ERRORS as error:
+                status = next(s for err, s in TYPED_FAILURES
+                              if isinstance(error, err))
+                if status == STATUS_TIMEOUT:
+                    tracer.instant("cell-deadline",
+                                   budget_s=policy.deadline_s, **key)
+                return CellRecord(key, status, failure=str(error),
+                                  attempts=attempts, backoff_s=backoffs)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:  # unexpected: maybe transient
+                failure = f"{type(error).__name__}: {error}"
+                if attempts > policy.max_retries:
+                    tracer.instant("cell-quarantined",
+                                   attempts=attempts, error=failure,
+                                   **key)
+                    return CellRecord(key, STATUS_FAILED,
+                                      failure=failure, attempts=attempts,
+                                      backoff_s=backoffs,
+                                      quarantined=True)
+                delay = min(policy.backoff_base_s * 2 ** (attempts - 1),
+                            policy.backoff_cap_s)
+                backoffs.append(delay)
+                tracer.instant("cell-retry", attempt=attempts,
+                               backoff_s=delay, error=failure, **key)
+                if sleep is not None:
+                    sleep(delay)
+                continue
+        if isinstance(outcome, CellOutcome):
+            status, value, failure = \
+                outcome.status, outcome.value, outcome.failure
+        else:
+            status, value, failure = STATUS_OK, outcome, ""
+        if status == STATUS_TIMEOUT:
+            tracer.instant("cell-deadline", budget_s=policy.deadline_s,
+                           **key)
+        # Journaled and fresh values must be indistinguishable, so
+        # normalize to JSON types *before* anyone consumes them.
+        return CellRecord(key, status, value=_jsonable(value),
+                          failure=failure, attempts=attempts,
+                          backoff_s=backoffs)
 
 
 @dataclass
@@ -270,6 +355,22 @@ class SweepResult:
     def __iter__(self):
         for key in self.keys:
             yield self.records[cell_id(key)]
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot: every record in enumeration order.
+
+        Scheduling-independent by design — a ``jobs=4`` sweep must
+        produce exactly the dict a serial sweep does, which the
+        determinism tests assert byte-for-byte.
+        """
+        return {
+            "sweep": self.name,
+            "records": [self.records[cell_id(key)].to_dict()
+                        for key in self.keys],
+            "executed": self.executed,
+            "replayed": self.replayed,
+            "completeness": self.completeness(),
+        }
 
     def completeness(self) -> dict:
         """Coverage + failure taxonomy: the sweep's summary report."""
@@ -310,6 +411,13 @@ class Sweep:
     choice for a simulator; pass ``time.sleep`` when the executor talks
     to real systems.
 
+    ``jobs`` fans cells out over worker processes
+    (:mod:`repro.harness.parallel`): ``None``/``1`` run in-process,
+    ``0`` means ``os.cpu_count()``, and any other N runs N workers.
+    The parent stays the sole journal writer and merges records in
+    enumeration order, so journals, resume, retries and DNF taxonomy
+    are **byte-identical across any worker count**.
+
     The engine is deliberately stateless between ``run`` calls except
     for ``last``, the most recent :class:`SweepResult` (handy for
     callers like the CLI that get back only assembled table data).
@@ -318,9 +426,11 @@ class Sweep:
     def __init__(self, name: str, journal=None, resume: bool = False,
                  deadline_s: float = None, max_retries: int = 2,
                  backoff_base_s: float = 0.5, backoff_cap_s: float = 8.0,
-                 sleep=None, tracer=None):
+                 sleep=None, tracer=None, jobs=None):
         if max_retries < 0:
             raise ReproError("max_retries must be >= 0")
+        if jobs is not None and jobs < 0:
+            raise ReproError("jobs must be >= 0 (0 = all cores)")
         self.name = name
         self.journal_path = Path(journal) if journal is not None else None
         self.resume = resume
@@ -330,9 +440,25 @@ class Sweep:
         self.backoff_cap_s = backoff_cap_s
         self.sleep = sleep
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.jobs = jobs
         self.last = None
 
+    def policy(self) -> CellPolicy:
+        return CellPolicy(deadline_s=self.deadline_s,
+                          max_retries=self.max_retries,
+                          backoff_base_s=self.backoff_base_s,
+                          backoff_cap_s=self.backoff_cap_s)
+
+    def effective_jobs(self) -> int:
+        """The worker count ``run`` will use (resolves ``jobs=0``)."""
+        if self.jobs == 0:
+            return os.cpu_count() or 1
+        return self.jobs or 1
+
     def _config(self) -> dict:
+        # Deliberately excludes ``jobs``: the journal of a parallel
+        # sweep must be byte-identical to (and resumable as) a serial
+        # one — scheduling is not part of the sweep's identity.
         return {"deadline_s": self.deadline_s,
                 "max_retries": self.max_retries,
                 "backoff_base_s": self.backoff_base_s,
@@ -368,20 +494,28 @@ class Sweep:
             journal.open(self.name, self._config())
 
         result = SweepResult(self.name, keys, records)
+        jobs = self.effective_jobs()
         tracer = self.tracer
         try:
             with tracer.span("sweep", sweep=self.name, cells=len(keys),
-                             resumed=len(records)):
-                for key, cid in zip(keys, ids):
+                             resumed=len(records), jobs=jobs):
+                pending = []
+                for index, (key, cid) in enumerate(zip(keys, ids)):
                     if cid in records:
                         result.replayed += 1
                         tracer.instant("cell-replayed", **key)
-                        continue
-                    record = self._run_cell(key, execute)
-                    records[cid] = record
-                    result.executed += 1
-                    if journal is not None:
-                        journal.append(record)
+                    else:
+                        pending.append((index, key, cid))
+                if jobs > 1 and len(pending) > 1:
+                    self._run_parallel(pending, execute, jobs, records,
+                                       result, journal)
+                else:
+                    for _index, key, cid in pending:
+                        record = self._run_cell(key, execute)
+                        records[cid] = record
+                        result.executed += 1
+                        if journal is not None:
+                            journal.append(record)
         finally:
             if journal is not None:
                 journal.close()
@@ -390,52 +524,19 @@ class Sweep:
 
     def _run_cell(self, key: dict, execute) -> CellRecord:
         """One cell behind its isolation boundary, with retry policy."""
-        tracer = self.tracer
-        attempts = 0
-        backoffs = []
-        while True:
-            attempts += 1
-            with tracer.span("cell", attempt=attempts, **key):
-                try:
-                    outcome = execute(key, budget_s=self.deadline_s)
-                except _TYPED_ERRORS as error:
-                    status = next(s for err, s in TYPED_FAILURES
-                                  if isinstance(error, err))
-                    if status == STATUS_TIMEOUT:
-                        tracer.instant("cell-deadline",
-                                       budget_s=self.deadline_s, **key)
-                    return CellRecord(key, status, failure=str(error),
-                                      attempts=attempts, backoff_s=backoffs)
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                except Exception as error:  # unexpected: maybe transient
-                    failure = f"{type(error).__name__}: {error}"
-                    if attempts > self.max_retries:
-                        tracer.instant("cell-quarantined",
-                                       attempts=attempts, error=failure,
-                                       **key)
-                        return CellRecord(key, STATUS_FAILED,
-                                          failure=failure, attempts=attempts,
-                                          backoff_s=backoffs,
-                                          quarantined=True)
-                    delay = min(self.backoff_base_s * 2 ** (attempts - 1),
-                                self.backoff_cap_s)
-                    backoffs.append(delay)
-                    tracer.instant("cell-retry", attempt=attempts,
-                                   backoff_s=delay, error=failure, **key)
-                    if self.sleep is not None:
-                        self.sleep(delay)
-                    continue
-            if isinstance(outcome, CellOutcome):
-                status, value, failure = \
-                    outcome.status, outcome.value, outcome.failure
-            else:
-                status, value, failure = STATUS_OK, outcome, ""
-            if status == STATUS_TIMEOUT:
-                tracer.instant("cell-deadline", budget_s=self.deadline_s,
-                               **key)
-            # Journaled and fresh values must be indistinguishable, so
-            # normalize to JSON types *before* anyone consumes them.
-            return CellRecord(key, status, value=_jsonable(value),
-                              failure=failure, attempts=attempts,
-                              backoff_s=backoffs)
+        return execute_cell(key, execute, self.policy(),
+                            tracer=self.tracer, sleep=self.sleep)
+
+    def _run_parallel(self, pending, execute, jobs, records, result,
+                      journal) -> None:
+        """Fan pending cells over worker processes; merge in order."""
+        from .parallel import run_cells_parallel
+
+        for cell in run_cells_parallel(
+                pending, execute, self.policy(), jobs,
+                traced=self.tracer.enabled, sleep=self.sleep):
+            records[cell.cid] = cell.record
+            result.executed += 1
+            self.tracer.merge_spans(cell.spans, worker=cell.worker)
+            if journal is not None:
+                journal.append(cell.record)

@@ -83,6 +83,9 @@ class NullTracer:
     def advance(self, seconds: float) -> None:
         pass
 
+    def merge_spans(self, spans, worker=None) -> None:
+        pass
+
 
 NULL_TRACER = NullTracer()
 
@@ -168,6 +171,31 @@ class Tracer(NullTracer):
     def instant(self, name: str, node: int = None, **attrs) -> None:
         """Zero-duration marker at the current clock."""
         self.record(name, self.now(), 0.0, node=node, **attrs)
+
+    def merge_spans(self, spans, worker=None) -> None:
+        """Graft another tracer's spans under the currently open span.
+
+        The parallel sweep executor runs one tracer per worker cell and
+        ships the spans back; merging re-parents each worker tree onto
+        this tracer's open span (usually ``sweep``), preserves internal
+        parent/child structure via index offsetting, and stamps every
+        span with ``worker=`` so a merged timeline still says who ran
+        what.
+        """
+        offset = len(self.spans)
+        graft_parent = self._stack[-1] if self._stack else None
+        graft_depth = self.spans[graft_parent].depth + 1 \
+            if graft_parent is not None else 0
+        for span in spans:
+            attrs = dict(span.attrs)
+            if worker is not None:
+                attrs["worker"] = worker
+            parent = span.parent + offset if span.parent is not None \
+                else graft_parent
+            self.spans.append(Span(
+                name=span.name, start_s=span.start_s, end_s=span.end_s,
+                node=span.node, parent=parent,
+                depth=span.depth + graft_depth, attrs=attrs))
 
     # -- counters ----------------------------------------------------------
 

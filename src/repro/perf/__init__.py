@@ -27,6 +27,7 @@ from .baselines import (
     check,
     load_baseline,
     measure_cells,
+    measure_parallel_sweep,
     measure_wall_clock,
     parse_injection,
     record,
@@ -36,6 +37,7 @@ from .report import (
     render_advice,
     render_attribution,
     render_gate,
+    render_parallel,
     render_roofline,
 )
 
@@ -60,12 +62,14 @@ __all__ = [
     "classify",
     "load_baseline",
     "measure_cells",
+    "measure_parallel_sweep",
     "measure_wall_clock",
     "parse_injection",
     "record",
     "render_advice",
     "render_attribution",
     "render_gate",
+    "render_parallel",
     "render_roofline",
     "roofline_of",
     "roofline_of_run",

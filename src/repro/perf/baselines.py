@@ -24,6 +24,7 @@ comparison — the CI self-test that proves the gate actually fires.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -106,9 +107,71 @@ def measure_wall_clock(names=()) -> dict:
     return out
 
 
+#: Sweep subset the pool-overhead/speedup report times. Small enough to
+#: finish in seconds, large enough (12 cells) that per-cell work
+#: dominates IPC.
+PARALLEL_REPORT_SUBSET = {
+    "algorithms": ("pagerank", "bfs"),
+    "frameworks": ("galois", "combblas"),
+}
+
+
+def _noop_cell(key, budget_s=None):
+    """Picklable do-nothing executor for pool-overhead measurement."""
+    return {"cell": key["cell"]}
+
+
+def measure_parallel_sweep(jobs: int = 0, subset=None) -> dict:
+    """Advisory pool-overhead/speedup report for the parallel executor.
+
+    Times a warm-cache table5 subset serially and with ``jobs`` workers
+    (``0`` = all cores), plus the pool's fixed overhead (spawn + IPC for
+    the same number of do-nothing cells). Wall-clock and machine-
+    dependent by nature, so the numbers are advisory — recorded so the
+    parallel win is *measured*, never asserted — and they never gate.
+    """
+    from ..harness.parallel import run_cells_parallel
+    from ..harness.sweep import CellPolicy, Sweep
+    from ..harness.tables import table5
+
+    jobs = jobs or os.cpu_count() or 1
+    subset = subset or PARALLEL_REPORT_SUBSET
+    # Cells per table5 run: every algorithm x its 4 single-node datasets
+    # x (requested frameworks + the native baseline).
+    cells = len(subset["algorithms"]) * 4 * (len(subset["frameworks"]) + 1)
+
+    # Warm both cache layers so the comparison times execution, not
+    # dataset generation.
+    table5(sweep=Sweep("table5"), **subset)
+
+    start = time.perf_counter()
+    table5(sweep=Sweep("table5", jobs=1), **subset)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    table5(sweep=Sweep("table5", jobs=jobs), **subset)
+    parallel_s = time.perf_counter() - start
+
+    pending = [(i, {"cell": i}, str(i)) for i in range(cells)]
+    start = time.perf_counter()
+    for _ in run_cells_parallel(pending, _noop_cell, CellPolicy(), jobs):
+        pass
+    pool_overhead_s = time.perf_counter() - start
+
+    return {
+        "jobs": jobs,
+        "cells": cells,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / max(parallel_s, 1e-9),
+        "pool_overhead_s": pool_overhead_s,
+        "advisory": True,
+    }
+
+
 def record(path=DEFAULT_BASELINE, algorithms=None,
            frameworks=GATE_FRAMEWORKS, node_counts=GATE_NODE_COUNTS,
-           benchmarks=()) -> dict:
+           benchmarks=(), parallel_jobs=None) -> dict:
     """Measure every gate cell and write the baseline file.
 
     The ``cells`` section is deterministic, so recording twice on an
@@ -129,6 +192,8 @@ def record(path=DEFAULT_BASELINE, algorithms=None,
         "cells": measure_cells(algorithms, frameworks, node_counts),
         "wall_clock": measure_wall_clock(benchmarks),
     }
+    if parallel_jobs is not None:        # 0 means "all cores"
+        payload["parallel"] = measure_parallel_sweep(parallel_jobs)
     atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True)
                       + "\n")
     return payload
@@ -189,6 +254,7 @@ class GateReport:
     tolerance: float
     checks: list = field(default_factory=list)
     wall_clock: dict = field(default_factory=dict)
+    parallel: dict = field(default_factory=dict)
     injected: dict = field(default_factory=dict)
 
     @property
@@ -218,6 +284,7 @@ class GateReport:
             "regressions": [check.to_dict() for check in self.regressions],
             "improvements": [check.to_dict() for check in self.improvements],
             "wall_clock": self.wall_clock,
+            "parallel": self.parallel,
             "injected": self.injected,
         }
 
@@ -282,4 +349,7 @@ def check(path=DEFAULT_BASELINE, tolerance: float = DEFAULT_TOLERANCE,
                    "advisory": True}
             for name in sorted(recorded_wall)
         }
+    # Recorded pool-overhead/speedup report, passed through verbatim:
+    # wall-clock numbers from record time, advisory by definition.
+    report.parallel = baseline.get("parallel", {})
     return report

@@ -77,6 +77,16 @@ def render_advice(advice_list, algorithm: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_parallel(entry: dict) -> str:
+    """One-line pool-overhead/speedup advisory for the parallel sweep."""
+    return (f"parallel  sweep jobs={entry['jobs']}: "
+            f"{entry['serial_s']:.2f} s serial -> "
+            f"{entry['parallel_s']:.2f} s "
+            f"({entry['speedup']:.2f}x, pool overhead "
+            f"{entry['pool_overhead_s']:.2f} s for {entry['cells']} "
+            f"no-op cells; advisory)")
+
+
 def render_gate(report) -> str:
     """Pass/fail summary naming every out-of-tolerance cell."""
     lines = [f"perf gate vs {report.path} "
@@ -103,6 +113,8 @@ def render_gate(report) -> str:
     for name, entry in report.wall_clock.items():
         lines.append(f"  wall      {name}: {entry['baseline_s']:.2f} s -> "
                      f"{entry['current_s']:.2f} s (advisory)")
+    if report.parallel:
+        lines.append("  " + render_parallel(report.parallel))
     lines.append("PASS: no cell regressed" if report.ok else
                  f"FAIL: {len(report.regressions)} cell(s) regressed")
     return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Content-addressed dataset cache: keys, immutability, invalidation.
+
+Covers the cache's whole contract: cold and warm calls hand out equal
+(immutable, memory-mapped) datasets; keys bind the full generator
+signature plus the code-version salt; a mutating cell cannot poison a
+later cell; tracer instants make hits/misses observable; and the
+``repro cache`` CLI manages the store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    cache_entries,
+    cache_stats,
+    clear_cache,
+    netflix_like_ratings,
+    rmat_graph,
+)
+from repro.datagen import cache as cache_module
+from repro.observability import Tracer
+
+GRAPH_ARGS = dict(scale=6, edge_factor=4, seed=11)
+
+
+def mmap_backed(array) -> bool:
+    """True when the array's buffer chain bottoms out in a memory map.
+
+    ``CSRGraph`` wraps its inputs in ``np.asarray``, which turns a
+    ``np.memmap`` into a base-class *view* (no copy); a dtype mismatch
+    would silently copy instead, which is exactly what this detects.
+    """
+    while isinstance(array, np.ndarray):
+        if isinstance(array, np.memmap):
+            return True
+        array = array.base
+    return False
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the cache at a private root and make sure it is enabled."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv(cache_module.CACHE_DIR_ENV, str(root))
+    monkeypatch.delenv(cache_module.CACHE_ENABLE_ENV, raising=False)
+    return root
+
+
+class TestRoundtrip:
+    def test_warm_call_reproduces_the_cold_build(self, cache_dir):
+        fresh = rmat_graph.__wrapped__(**GRAPH_ARGS)   # uncached build
+        cold = rmat_graph(**GRAPH_ARGS)
+        warm = rmat_graph(**GRAPH_ARGS)
+        for built in (cold, warm):
+            assert built.num_vertices == fresh.num_vertices
+            assert np.array_equal(built.offsets, fresh.offsets)
+            assert np.array_equal(built.targets, fresh.targets)
+        assert len(cache_entries()) == 1
+        # The warm copy is a read-only memory map, not an allocation.
+        assert mmap_backed(warm.targets) and mmap_backed(warm.offsets)
+        assert not warm.targets.flags.writeable
+
+    def test_ratings_roundtrip(self, cache_dir):
+        cold = netflix_like_ratings(scale=6, num_items=40, seed=5)
+        warm = netflix_like_ratings(scale=6, num_items=40, seed=5)
+        assert warm.num_users == cold.num_users
+        assert warm.num_items == cold.num_items
+        assert np.array_equal(warm.ratings, cold.ratings)
+        assert not warm.ratings.flags.writeable
+
+    def test_default_and_explicit_params_share_one_entry(self, cache_dir):
+        rmat_graph(6, seed=11, edge_factor=4)
+        rmat_graph(scale=6, edge_factor=4, seed=11)    # defaults applied
+        assert len(cache_entries()) == 1
+        rmat_graph(scale=6, edge_factor=4, seed=12)    # any param change
+        assert len(cache_entries()) == 2
+
+
+class TestImmutability:
+    def test_cached_arrays_are_read_only(self, cache_dir):
+        graph = rmat_graph(**GRAPH_ARGS)
+        for array in (graph.offsets, graph.targets):
+            assert not array.flags.writeable
+            with pytest.raises((ValueError, TypeError)):
+                array[0] = 0
+
+    def test_mutating_cell_cannot_poison_a_later_cell(self, cache_dir):
+        """The aliasing regression the freeze exists to prevent."""
+        first = rmat_graph(**GRAPH_ARGS)
+        pristine = np.array(first.targets[:16])        # private copy
+        with pytest.raises((ValueError, TypeError)):
+            first.targets[0] = first.targets[0] + 1    # the mutating cell
+        later = rmat_graph(**GRAPH_ARGS)               # a later cell
+        assert np.array_equal(later.targets[:16], pristine)
+
+    def test_disabled_cache_still_freezes(self, cache_dir, monkeypatch):
+        monkeypatch.setenv(cache_module.CACHE_ENABLE_ENV, "0")
+        graph = rmat_graph(**GRAPH_ARGS)
+        assert not graph.targets.flags.writeable
+        assert cache_entries() == []                   # nothing stored
+
+
+class TestKeysAndInvalidation:
+    def test_entry_key_is_order_insensitive_and_param_sensitive(self):
+        base = cache_module.entry_key("g", {"a": 1, "b": 2})
+        assert cache_module.entry_key("g", {"b": 2, "a": 1}) == base
+        assert cache_module.entry_key("g", {"a": 1, "b": 3}) != base
+        assert cache_module.entry_key("h", {"a": 1, "b": 2}) != base
+
+    def test_entry_key_rejects_unkeyable_params(self):
+        with pytest.raises(TypeError, match="cache key"):
+            cache_module.entry_key("g", {"x": object()})
+
+    def test_code_version_salts_keys_and_marks_stale(self, cache_dir,
+                                                     monkeypatch):
+        rmat_graph(**GRAPH_ARGS)
+        before = cache_module.entry_key("rmat_graph", {"scale": 6})
+        assert [item["stale"] for item in cache_entries()] == [False]
+
+        # Simulate an edit to a generator: the salt changes, every old
+        # entry goes stale, and new keys no longer collide with it.
+        monkeypatch.setattr(cache_module, "code_version", lambda: "0" * 16)
+        assert cache_module.entry_key("rmat_graph", {"scale": 6}) != before
+        assert [item["stale"] for item in cache_entries()] == [True]
+        assert clear_cache(stale_only=True) == 1
+        assert cache_entries() == []
+
+
+class TestObservability:
+    def test_tracer_sees_miss_store_then_hit(self, cache_dir):
+        tracer = Tracer()
+        with cache_module.use_tracer(tracer):
+            rmat_graph(**GRAPH_ARGS)
+            rmat_graph(**GRAPH_ARGS)
+        assert len(tracer.spans_named("dataset-cache-miss")) == 1
+        assert len(tracer.spans_named("dataset-cache-store")) == 1
+        assert len(tracer.spans_named("dataset-cache-hit")) == 1
+
+
+class TestManagement:
+    def test_stats_and_clear(self, cache_dir):
+        rmat_graph(**GRAPH_ARGS)
+        netflix_like_ratings(scale=6, num_items=40, seed=5)
+        summary = cache_stats()
+        assert summary["entries"] == 2 and summary["bytes"] > 0
+        assert set(summary["by_generator"]) == \
+            {"rmat_graph", "netflix_like_ratings"}
+        assert clear_cache() == 2
+        assert cache_stats()["entries"] == 0
+
+    def test_cache_cli(self, cache_dir, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "stats"]) == 0
+        rmat_graph(**GRAPH_ARGS)
+        assert main(["cache", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "rmat_graph" in out
+        assert main(["cache", "clear", "--stale"]) == 0
+        assert main(["cache", "clear"]) == 0
+        assert main(["cache", "list"]) == 0
+        assert "empty" in capsys.readouterr().out

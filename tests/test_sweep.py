@@ -152,6 +152,30 @@ class TestJournal:
         records = SweepJournal(journal).load("s")
         assert set(records) == {cell_id({"cell": 0}), cell_id({"cell": 1})}
 
+    def test_torn_record_mid_burst_repaired_on_resume(self, tmp_path):
+        """A crash mid-burst tears only the final record of the burst.
+
+        The parallel executor drains merged records in a burst of
+        O_APPEND writes; killing it mid-append leaves intact records
+        plus half of the one being written. Resume must keep every
+        intact record, drop the torn one, and rebuild the journal
+        byte-identically.
+        """
+        journal = tmp_path / "s.jsonl"
+        Sweep("s", jobs=4, journal=journal).run(keys(8), ok_executor)
+        original = journal.read_bytes()
+        lines = journal.read_text().splitlines()
+        # 5 intact records survive the burst; the 6th is half-written.
+        journal.write_text("\n".join(lines[:6]) + "\n" + lines[6][:11])
+
+        loaded = SweepJournal(journal).load("s")
+        assert set(loaded) == {cell_id({"cell": i}) for i in range(5)}
+
+        resumed = Sweep("s", jobs=4, journal=journal, resume=True).run(
+            keys(8), ok_executor)
+        assert resumed.replayed == 5 and resumed.executed == 3
+        assert journal.read_bytes() == original
+
     def test_resume_replays_and_never_recomputes(self, tmp_path):
         journal = tmp_path / "s.jsonl"
         direct = Sweep("s", journal=journal).run(keys(6), ok_executor)
