@@ -93,12 +93,10 @@ def _failure_exit(error, label: str) -> int:
 
 
 def _run_cell(args, trace=None):
-    """Shared run/trace front half: dataset, params, run_experiment."""
-    from .datagen import dataset as catalog_dataset
-    from .harness import run_experiment
+    """Shared run/trace front half: build an ExperimentSpec and run it."""
+    from .harness import ExperimentSpec, run
 
-    data = catalog_dataset(args.dataset)
-    # Only pass what was given (run_experiment fills in default_params),
+    # Only pass what was given (the runner fills in default_params),
     # and only to the algorithms that take it.
     params = {}
     if args.algorithm in ("pagerank", "collaborative_filtering") \
@@ -107,14 +105,17 @@ def _run_cell(args, trace=None):
     if args.algorithm == "collaborative_filtering" \
             and args.hidden_dim is not None:
         params["hidden_dim"] = args.hidden_dim
-    if getattr(args, "faults", None):
-        params["faults"] = args.faults
-        params["fault_seed"] = args.fault_seed
-    if getattr(args, "deadline", None) is not None:
-        params["deadline_s"] = args.deadline
-    return run_experiment(args.algorithm, args.framework, data,
-                          nodes=args.nodes, scale_factor=args.scale_factor,
-                          trace=trace, **params)
+    spec = ExperimentSpec(
+        algorithm=args.algorithm, framework=args.framework,
+        dataset=args.dataset, nodes=args.nodes,
+        scale_factor=args.scale_factor,
+        faults=getattr(args, "faults", None) or None,
+        fault_seed=getattr(args, "fault_seed", 0),
+        deadline_s=getattr(args, "deadline", None),
+        kernels=getattr(args, "kernels", None),
+        params=params,
+    )
+    return run(spec, trace=trace)
 
 
 def _print_run(result) -> None:
@@ -544,6 +545,22 @@ def _cmd_perf_baseline(args) -> int:
     return EXIT_OK if report.ok else EXIT_PERF_REGRESSION
 
 
+def _cmd_perf_kernels(args) -> int:
+    from . import perf
+    from .errors import PerfRegression
+
+    try:
+        report = perf.check_kernel_backends(min_speedup=args.min_speedup)
+    except PerfRegression as error:
+        print(f"kernel gate: {error}", file=sys.stderr)
+        return EXIT_PERF_REGRESSION
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(perf.render_kernel_report(report))
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     from .algorithms.registry import ALGORITHMS, FRAMEWORKS
 
@@ -572,6 +589,10 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--deadline", type=float, default=None,
                              help="simulated-seconds budget; exceeding it "
                                   "is a 'timeout' result (exit 6)")
+        command.add_argument("--kernels", default=None,
+                             choices=("vectorized", "interpreted"),
+                             help="kernel backend for this run (default: "
+                                  "$REPRO_KERNELS or vectorized)")
         command.add_argument("--json", action="store_true",
                              help="print the result as JSON")
 
@@ -736,6 +757,19 @@ def build_parser() -> argparse.ArgumentParser:
                                "record only)")
     baseline.add_argument("--json", action="store_true")
     baseline.set_defaults(func=_cmd_perf_baseline)
+
+    kernels = perf_sub.add_parser(
+        "kernels",
+        help="differential + speedup gate for the kernel backends",
+        description="Run the kernel report subset under both "
+                    "REPRO_KERNELS backends; fail (exit 7) if simulated "
+                    "results differ or the vectorized speedup is below "
+                    "--min-speedup.")
+    kernels.add_argument("--min-speedup", type=float, default=2.0,
+                         help="required vectorized-over-interpreted "
+                              "wall-clock factor (default: 2.0)")
+    kernels.add_argument("--json", action="store_true")
+    kernels.set_defaults(func=_cmd_perf_kernels)
 
     cache = sub.add_parser(
         "cache",

@@ -99,6 +99,24 @@ class SimulationError(ReproError):
     """The cluster simulator was used inconsistently."""
 
 
+class SpecError(ReproError):
+    """An :class:`~repro.harness.ExperimentSpec` is invalid.
+
+    Raised at spec *construction* time — unknown algorithm parameters,
+    bad field values, unserializable datasets — so typos surface where
+    they are written instead of being silently threaded into a run's
+    merged parameter dict. The message names the valid choices.
+    """
+
+
+class KernelError(ReproError):
+    """A kernel backend or registry lookup request cannot be satisfied.
+
+    Raised for unknown ``REPRO_KERNELS`` backend names and for
+    ``(algorithm, direction)`` pairs the kernel registry does not carry.
+    """
+
+
 class PerfRegression(ReproError):
     """The perf gate found cells slower than the recorded baseline.
 
@@ -108,6 +126,12 @@ class PerfRegression(ReproError):
     """
 
     def __init__(self, report):
+        if isinstance(report, str):
+            # Gates without a GateReport (e.g. the kernel-backend
+            # check) raise with a ready-made message.
+            self.report = None
+            super().__init__(report)
+            return
         self.report = report
         cells = ", ".join(check.cell for check in report.regressions)
         super().__init__(

@@ -23,6 +23,33 @@ both are documented against the paper measurement they come from:
 Everything else a framework run reports — traffic volume, buffer
 footprints, superstep counts, load balance — is *counted* from real
 execution of the algorithm in the framework's programming model.
+
+The Kernel protocol
+-------------------
+
+The numeric hot loops every engine executes for real live in
+:mod:`repro.kernels`, behind a three-method protocol
+(:class:`repro.kernels.Kernel`):
+
+* ``Kernel(*profile_args)`` — construct with the algorithm constants
+  the engine parameterizes (damping factor, SGD batch size, ...);
+* ``prepare(graph_or_ratings) -> self`` — bind the dataset once and
+  cache derived arrays (degrees, CSR/CSC forms);
+* ``step(...) -> (result, KernelWork)`` — one numeric step (a PageRank
+  sweep, a BFS frontier expansion, a full triangle pass, an SGD/GD
+  update). ``KernelWork`` carries *analytic* counts (edges, vertices,
+  frontier sizes) derived from sizes and degrees, never from loop trip
+  counts.
+
+Engines look kernels up through :func:`repro.kernels.registry.kernel`
+by ``(algorithm, direction)`` — e.g. ``("pagerank", "pull")`` or
+``("collaborative_filtering", "blocked-gd")`` — and keep all accounting
+(:class:`~repro.cluster.ComputeWork` construction, traffic matrices,
+memory allocations) on their side, expressed with profile constants
+from this module. That split is what lets the ``REPRO_KERNELS``
+backend knob (vectorized numpy vs the interpreted pure-Python oracle)
+change wall-clock time without moving a single simulated byte: counted
+work is analytic either way.
 """
 
 from __future__ import annotations

@@ -37,7 +37,7 @@ import numpy as np
 from ...cluster import Cluster, ComputeWork
 from ...frameworks.base import SOCIALITE, SOCIALITE_PUBLISHED, FrameworkProfile
 from ...graph import CSRGraph, RatingsMatrix
-from ..native.cf import gd_step, training_rmse
+from ...kernels import registry as kernel_registry
 from ..results import AlgorithmResult
 from .engine import EvalStats, SocialiteEngine
 from .rules import Assign, Atom, Head, Rule, Var
@@ -274,8 +274,6 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
     """
     if iterations < 1 or hidden_dim < 1:
         raise ValueError("iterations and hidden_dim must be >= 1")
-    from scipy import sparse
-
     profile = _profile(optimized)
     nodes = cluster.num_nodes
     rng = np.random.default_rng(seed)
@@ -313,22 +311,16 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
                          + row_bytes * (ratings.num_items / nodes) / density
                          + 24.0 * ratings_per_node[node])
 
-    csr = sparse.csr_matrix(
-        (ratings.ratings, (ratings.users, ratings.items)),
-        shape=(ratings.num_users, ratings.num_items),
-    )
-    csr_t = csr.T.tocsr()
-    user_degrees = ratings.user_degrees().astype(np.float64)
-    item_degrees = ratings.item_degrees().astype(np.float64)
+    kern = kernel_registry.kernel("collaborative_filtering",
+                                  "blocked-gd")().prepare(ratings)
 
     rmse_curve = []
     gamma = gamma0
     for iteration in range(iterations):
         with cluster.trace_span("iteration", index=iteration):
-            gd_step(csr, csr_t, user_degrees, item_degrees,
-                    p_factors, q_factors, gamma, lambda_reg, lambda_reg)
+            kern.step(p_factors, q_factors, gamma, lambda_reg, lambda_reg)
             gamma *= step_decay
-            rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
+            rmse_curve.append(kern.rmse(p_factors, q_factors))
 
             works = []
             for node in range(nodes):

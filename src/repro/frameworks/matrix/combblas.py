@@ -18,13 +18,12 @@ Algorithm mappings, per Section 3.2 of the paper:
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 
 from ...algorithms.bfs import UNREACHED
 from ...cluster import Cluster, ComputeWork
 from ...graph import CSRGraph, RatingsMatrix
+from ...kernels import registry as kernel_registry
 from ..base import COMBBLAS
-from ..native.cf import gd_step, training_rmse
 from ..results import AlgorithmResult
 from ..vertex.programs import bipartite_graph
 from .semiring import OR_AND, PLUS_TIMES
@@ -178,13 +177,8 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
     p_factors = rng.random((ratings.num_users, hidden_dim)) * scale
     q_factors = rng.random((ratings.num_items, hidden_dim)) * scale
 
-    csr = sparse.csr_matrix(
-        (ratings.ratings, (ratings.users, ratings.items)),
-        shape=(ratings.num_users, ratings.num_items),
-    )
-    csr_t = csr.T.tocsr()
-    user_degrees = ratings.user_degrees().astype(np.float64)
-    item_degrees = ratings.item_degrees().astype(np.float64)
+    kern = kernel_registry.kernel("collaborative_filtering",
+                                  "blocked-gd")().prepare(ratings)
 
     # Traffic/flops template of one dense SpMV on this distribution; the
     # exchanged vectors are vertex-proportional (density-corrected).
@@ -197,10 +191,9 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
     for iteration in range(iterations):
         with cluster.trace_span("iteration", index=iteration,
                                 spmvs=hidden_dim):
-            gd_step(csr, csr_t, user_degrees, item_degrees,
-                    p_factors, q_factors, gamma, lambda_reg, lambda_reg)
+            kern.step(p_factors, q_factors, gamma, lambda_reg, lambda_reg)
             gamma *= step_decay
-            rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
+            rmse_curve.append(kern.rmse(p_factors, q_factors))
             # K per-dimension SpMVs, each re-scanning R with one factor
             # column as the dense vector ("a single GD iteration consists
             # of K matrix-vector multiplications"). Gathering one 8-byte

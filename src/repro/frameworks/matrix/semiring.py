@@ -85,23 +85,11 @@ def semiring_spmv(graph: CSRGraph, x: np.ndarray,
     ``y[v] = add-reduce over edges (u, v) of multiply(A[u, v], x[u])``;
     entries with no incident edges get the semiring zero. ``edge_values``
     defaults to 1 for every edge (unweighted adjacency).
+
+    The numeric work is delegated to :func:`repro.kernels.semiring_spmv`
+    (imported lazily — ``repro.kernels`` must not be a hard import-time
+    dependency of the semiring definitions it duck-types).
     """
-    x = np.asarray(x, dtype=np.float64)
-    if x.shape != (graph.num_vertices,):
-        raise ValueError(
-            f"x must have {graph.num_vertices} entries, got {x.shape}"
-        )
-    if edge_values is None:
-        edge_values = np.ones(graph.num_edges)
-    else:
-        edge_values = np.asarray(edge_values, dtype=np.float64)
-        if edge_values.shape != (graph.num_edges,):
-            raise ValueError("edge_values must have one entry per edge")
-    sources = graph.sources()
-    combined = semiring.multiply(edge_values, x[sources])
-    reduced = semiring.add_reduce(combined, graph.targets, graph.num_vertices)
-    # Positions never reduced into hold the additive identity.
-    touched = np.zeros(graph.num_vertices, dtype=bool)
-    touched[graph.targets] = True
-    result = np.where(touched, reduced, semiring.zero)
-    return result
+    from ...kernels.spmv import semiring_spmv as _kernel_spmv
+
+    return _kernel_spmv(graph, x, semiring, edge_values)

@@ -185,7 +185,9 @@ class DistSpMat:
         registering the product's memory — that allocation is what kills
         CombBLAS triangle counting on big inputs.
         """
-        product = self.scipy @ self.scipy
+        from ...kernels.triangles import aa_product
+
+        product = aa_product(self.scipy)
         degrees = np.asarray(self.scipy.sum(axis=1)).ravel()
         # Multiply count: for each nonzero (u, v), row v's nnz.
         flops = 2.0 * float(degrees[self.graph.targets].sum())
@@ -214,5 +216,6 @@ class DistSpMat:
 
     def ewise_mult_sum(self, other) -> "tuple[float, float]":
         """``sum(A .* other)`` and its flop count (blocks are aligned)."""
-        masked = self.scipy.multiply(other)
-        return float(masked.sum()), 2.0 * float(self.scipy.nnz)
+        from ...kernels.triangles import masked_sum
+
+        return masked_sum(self.scipy, other), 2.0 * float(self.scipy.nnz)

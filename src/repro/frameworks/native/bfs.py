@@ -21,6 +21,7 @@ import numpy as np
 
 from ...cluster import Cluster, ComputeWork
 from ...graph import CSRGraph, partition_edges_1d
+from ...kernels import registry as kernel_registry
 from ..results import AlgorithmResult
 from .compression import encoded_size
 from .options import NativeOptions
@@ -55,6 +56,7 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0,
         cluster.allocate(node, "visited",
                          visited_bytes_per_vertex * num_vertices)
 
+    expand = kernel_registry.kernel("bfs", "push")().prepare(graph)
     distances = np.full(num_vertices, _UNREACHED, dtype=np.int32)
     distances[source] = 0
     visited = np.zeros(num_vertices, dtype=bool)
@@ -80,12 +82,11 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0,
 
         for node in range(cluster.num_nodes):
             mine = frontier[frontier_owner == node]
-            neighbors, _ = graph.neighbors_of_many(mine)
-            edges_examined = float(neighbors.size)
+            candidates, expand_work = expand.step(mine)
+            edges_examined = expand_work.edges
             total_edges_examined += edges_examined
 
             # Local combine: dedup + drop already-visited before sending.
-            candidates = np.unique(neighbors)
             fresh = candidates[~visited[candidates]]
             discovered_all.append(fresh)
 

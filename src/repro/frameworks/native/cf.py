@@ -10,20 +10,28 @@ also provided, both for the framework engines and for the SGD-vs-GD
 convergence comparison the paper reports (~40x fewer iterations on
 Netflix).
 
-Pure-Python SGD would process one rating at a time; we vectorize within
-small mini-batches (reads within a batch see slightly stale factors, a
-standard Hogwild-style relaxation that preserves SGD's convergence
-behaviour). DESIGN.md records this substitution.
+The update math itself lives in :mod:`repro.kernels.sgd` (re-exported
+here for compatibility): mini-batch vectorized sweeps rather than
+rating-at-a-time Python (reads within a batch see slightly stale
+factors, a standard Hogwild-style relaxation that preserves SGD's
+convergence behaviour). DESIGN.md records this substitution; the
+``REPRO_KERNELS=interpreted`` oracle runs the per-rating loops.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 
 from ...cluster import Cluster, ComputeWork
 from ...errors import ConvergenceError
 from ...graph import RatingsMatrix
+from ...kernels import registry as kernel_registry
+from ...kernels.sgd import (  # noqa: F401  (re-exported compatibility names)
+    _SGD_BATCH,
+    gd_step,
+    sgd_sweep,
+    training_rmse,
+)
 from ..results import AlgorithmResult
 from .options import NativeOptions
 
@@ -31,56 +39,6 @@ from .options import NativeOptions
 #: vertex message) imply K near 1000; we default far lower so proxy-scale
 #: runs stay fast, and the Table 1 bench overrides it.
 DEFAULT_K = 64
-_SGD_BATCH = 1024
-
-
-def training_rmse(ratings: RatingsMatrix, p_factors, q_factors) -> float:
-    """RMSE over the observed ratings; inf when training has diverged."""
-    with np.errstate(over="ignore", invalid="ignore"):
-        predicted = np.einsum(
-            "ij,ij->i", p_factors[ratings.users], q_factors[ratings.items]
-        )
-        return float(np.sqrt(np.mean((ratings.ratings - predicted) ** 2)))
-
-
-def sgd_sweep(users, items, values, p_factors, q_factors, gamma,
-               lambda_p, lambda_q, batch=_SGD_BATCH):
-    """One pass over the given ratings in order, mini-batch vectorized.
-
-    Implements equations (5)-(8): e = R - p.q; p += gamma(e q - lp p);
-    q += gamma(e p - lq q), with both updates applied per rating.
-    """
-    for start in range(0, users.size, batch):
-        u = users[start:start + batch]
-        v = items[start:start + batch]
-        r = values[start:start + batch]
-        pu = p_factors[u]
-        qv = q_factors[v]
-        err = r - np.einsum("ij,ij->i", pu, qv)
-        dp = gamma * (err[:, None] * qv - lambda_p * pu)
-        dq = gamma * (err[:, None] * pu - lambda_q * qv)
-        np.add.at(p_factors, u, dp)
-        np.add.at(q_factors, v, dq)
-
-
-def gd_step(ratings_csr, ratings_csr_t, user_degrees, item_degrees,
-             p_factors, q_factors, gamma, lambda_p, lambda_q):
-    """One full Gradient Descent step (equations 11-12), simultaneous."""
-    errors = ratings_csr.copy()
-    predicted = np.einsum(
-        "ij,ij->i",
-        p_factors[_row_index(ratings_csr)], q_factors[ratings_csr.indices]
-    )
-    errors.data = ratings_csr.data - predicted
-    grad_p = errors @ q_factors - lambda_p * user_degrees[:, None] * p_factors
-    errors_t = errors.T.tocsr()
-    grad_q = errors_t @ p_factors - lambda_q * item_degrees[:, None] * q_factors
-    p_factors += gamma * grad_p
-    q_factors += gamma * grad_q
-
-
-def _row_index(csr_matrix) -> np.ndarray:
-    return np.repeat(np.arange(csr_matrix.shape[0]), np.diff(csr_matrix.indptr))
 
 
 def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
@@ -134,14 +92,9 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
                          8 * k * items_per_chunk.max() / density)
         cluster.allocate(node, "ratings", 16 * ratings_per_user_chunk[node])
 
-    if method == "gd":
-        csr = sparse.csr_matrix(
-            (ratings.ratings, (ratings.users, ratings.items)),
-            shape=(ratings.num_users, ratings.num_items),
-        )
-        csr_t = csr.T.tocsr()
-        user_degrees = ratings.user_degrees().astype(np.float64)
-        item_degrees = ratings.item_degrees().astype(np.float64)
+    direction = "blocked-sgd" if method == "sgd" else "blocked-gd"
+    kern = kernel_registry.kernel("collaborative_filtering",
+                                  direction)().prepare(ratings)
 
     order = rng.permutation(ratings.num_ratings)
     users = ratings.users[order]
@@ -174,7 +127,7 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
                         mask = block_of == node * num_nodes + chunk
                         count = int(mask.sum())
                         if count:
-                            sgd_sweep(users[mask], items[mask], values[mask],
+                            kern.step(users[mask], items[mask], values[mask],
                                       p_factors, q_factors, gamma,
                                       lambda_reg, lambda_reg)
                         works.append(_work_for(count))
@@ -188,8 +141,7 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
                     cluster.superstep(works, traffic,
                                       overlap=options.overlap)
             else:
-                gd_step(csr, csr_t, user_degrees, item_degrees,
-                        p_factors, q_factors, gamma, lambda_reg, lambda_reg)
+                kern.step(p_factors, q_factors, gamma, lambda_reg, lambda_reg)
                 works = [_work_for(ratings_per_user_chunk[node])
                          for node in range(num_nodes)]
                 # GD: item factors are aggregated across every node that
@@ -203,7 +155,7 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
 
             cluster.mark_iteration()
         gamma *= step_decay
-        rmse = training_rmse(ratings, p_factors, q_factors)
+        rmse = kern.rmse(p_factors, q_factors)
         rmse_curve.append(rmse)
         if not np.isfinite(rmse):
             raise ConvergenceError(

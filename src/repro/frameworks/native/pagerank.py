@@ -24,6 +24,7 @@ import numpy as np
 
 from ...cluster import Cluster, ComputeWork
 from ...graph import CSRGraph, partition_edges_1d
+from ...kernels import registry as kernel_registry
 from ..results import AlgorithmResult
 from .compression import encoded_size
 from .options import NativeOptions
@@ -110,8 +111,7 @@ def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
             send_bytes = min(send_bytes, 64 * 2**20 / cluster.scale_factor)
         cluster.allocate(node, "send-buffers", send_bytes)
 
-    out_degrees = graph.out_degrees()
-    safe_degrees = np.maximum(out_degrees, 1)
+    pull = kernel_registry.kernel("pagerank", "pull")(damping).prepare(graph)
     ranks = np.full(num_vertices, 1.0)
 
     # Each in-edge gathers a remote rank from a (mostly) cold cache line:
@@ -144,12 +144,7 @@ def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
     for iteration in range(iterations):
         with cluster.trace_span("iteration", index=iteration,
                                 compressed=options.compression):
-            contributions = np.where(out_degrees > 0,
-                                     ranks / safe_degrees, 0.0)
-            per_edge = np.repeat(contributions, out_degrees)
-            gathered = np.bincount(graph.targets, weights=per_edge,
-                                   minlength=num_vertices)
-            new_ranks = damping + (1.0 - damping) * gathered
+            new_ranks, _ = pull.step(ranks)
 
             cluster.superstep(works, traffic, overlap=options.overlap)
             cluster.mark_iteration()

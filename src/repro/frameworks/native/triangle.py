@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...algorithms.triangles import triangle_count_fast
 from ...cluster import Cluster, ComputeWork
 from ...graph import CSRGraph, partition_edges_1d
+from ...kernels import registry as kernel_registry
 from ..results import AlgorithmResult
 from .options import NativeOptions
 
@@ -80,7 +80,9 @@ def triangle_count(graph: CSRGraph, cluster: Cluster,
         cluster.allocate(node, "recv-buffers", incoming)
 
     # -- values (real execution) ---------------------------------------------
-    count, overlap_matrix = triangle_count_fast(graph)
+    masked = kernel_registry.kernel("triangle_counting",
+                                    "masked-spgemm")().prepare(graph)
+    (count, overlap_matrix), _ = masked.step()
 
     # -- compute counters -----------------------------------------------------
     # Each received list N(u) of size d is probed against N(v): with the

@@ -18,10 +18,10 @@ from __future__ import annotations
 import numpy as np
 
 from ...algorithms.bfs import UNREACHED
-from ...algorithms.triangles import triangle_count_fast
 from ...cluster import Cluster, ComputeWork
 from ...errors import ReproError
 from ...graph import CSRGraph, RatingsMatrix
+from ...kernels import registry as kernel_registry
 from ..base import GALOIS
 from ..native.cf import collaborative_filtering as _native_cf
 from ..results import AlgorithmResult
@@ -57,16 +57,11 @@ def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
     cluster.allocate(0, "graph", 8.0 * num_edges + 8.0 * (num_vertices + 1))
     cluster.allocate(0, "ranks", 24.0 * num_vertices)
 
-    out_degrees = graph.out_degrees()
-    safe = np.maximum(out_degrees, 1)
+    pull = kernel_registry.kernel("pagerank", "pull")(damping).prepare(graph)
     ranks = np.full(num_vertices, 1.0)
     for iteration in range(iterations):
         with cluster.trace_span("iteration", index=iteration):
-            contributions = np.where(out_degrees > 0, ranks / safe, 0.0)
-            per_edge = np.repeat(contributions, out_degrees)
-            gathered = np.bincount(graph.targets, weights=per_edge,
-                                   minlength=num_vertices)
-            ranks = damping + (1.0 - damping) * gathered
+            ranks, _ = pull.step(ranks)
             # Same memory behaviour as the native kernel — per-edge rank
             # gathers at cache-line granularity, prefetched into streams —
             # plus Galois's small per-work-item scheduling cost.
@@ -94,6 +89,7 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
                      8.0 * graph.num_edges + 8.0 * (num_vertices + 1))
     cluster.allocate(0, "levels+worklists", 12.0 * num_vertices)
 
+    expand = kernel_registry.kernel("bfs", "push")().prepare(graph)
     distances = np.full(num_vertices, UNREACHED, dtype=np.int32)
     distances[source] = 0
     frontier = np.array([source], dtype=np.int64)
@@ -105,9 +101,8 @@ def bfs(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
         level += 1
         with cluster.trace_span("level", index=level,
                                 frontier=int(frontier.size)):
-            neighbors, _ = graph.neighbors_of_many(frontier)
-            edges = float(neighbors.size)
-            candidates = np.unique(neighbors)
+            candidates, expand_work = expand.step(frontier)
+            edges = expand_work.edges
             fresh = candidates[distances[candidates] == UNREACHED]
             distances[fresh] = level
             # Same per-edge traffic as the native kernel (scan + dedup
@@ -144,7 +139,9 @@ def triangle_count(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
     cluster.allocate(0, "graph",
                      8.0 * graph.num_edges + 8.0 * (graph.num_vertices + 1))
 
-    count, _ = triangle_count_fast(graph)
+    masked = kernel_registry.kernel("triangle_counting",
+                                    "masked-spgemm")().prepare(graph)
+    (count, _overlap), _ = masked.step()
 
     degrees = graph.out_degrees().astype(np.float64)
     probes = float(degrees[graph.sources()].sum())

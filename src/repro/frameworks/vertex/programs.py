@@ -15,14 +15,12 @@ Contains both:
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 
 from ...algorithms.bfs import UNREACHED
-from ...algorithms.triangles import triangle_count_fast
 from ...cluster import Cluster
 from ...graph import CSRGraph, EdgeList, RatingsMatrix
+from ...kernels import registry as kernel_registry
 from ..base import FrameworkProfile
-from ..native.cf import gd_step, training_rmse
 from ..results import AlgorithmResult
 from .engine import BSPEngine, ExchangeStats, VertexProgram
 
@@ -97,8 +95,7 @@ def pagerank_vertex(graph: CSRGraph, cluster: Cluster,
 
     num_vertices = graph.num_vertices
     all_vertices = np.arange(num_vertices, dtype=np.int64)
-    out_degrees = graph.out_degrees()
-    safe = np.maximum(out_degrees, 1)
+    pull = kernel_registry.kernel("pagerank", "pull")(damping).prepare(graph)
     ranks = np.full(num_vertices, 1.0)
 
     edges_per_node = np.bincount(engine.vertex_owner[graph.sources()],
@@ -115,11 +112,7 @@ def pagerank_vertex(graph: CSRGraph, cluster: Cluster,
             else:
                 stats = engine.edge_messages(all_vertices, _PR_MESSAGE_BYTES)
 
-            contributions = np.where(out_degrees > 0, ranks / safe, 0.0)
-            per_edge = np.repeat(contributions, out_degrees)
-            gathered = np.bincount(graph.targets, weights=per_edge,
-                                   minlength=num_vertices)
-            ranks = damping + (1.0 - damping) * gathered
+            ranks, _ = pull.step(ranks)
 
             engine.superstep(all_vertices, edges_per_node, stats,
                              _PR_MESSAGE_BYTES)
@@ -141,6 +134,7 @@ def bfs_vertex(graph: CSRGraph, cluster: Cluster, profile: FrameworkProfile,
     engine.allocate_graph(_BFS_MESSAGE_BYTES)
 
     out_degrees = graph.out_degrees()
+    expand = kernel_registry.kernel("bfs", "push")().prepare(graph)
     distances = np.full(graph.num_vertices, UNREACHED, dtype=np.int32)
     distances[source] = 0
     frontier = np.array([source], dtype=np.int64)
@@ -161,8 +155,7 @@ def bfs_vertex(graph: CSRGraph, cluster: Cluster, profile: FrameworkProfile,
                     frontier, _BFS_MESSAGE_BYTES
                 )
 
-            neighbors, _ = graph.neighbors_of_many(frontier)
-            candidates = np.unique(neighbors)
+            candidates, _ = expand.step(frontier)
             fresh = candidates[distances[candidates] == UNREACHED]
             distances[fresh] = level
 
@@ -208,7 +201,9 @@ def triangle_vertex(graph: CSRGraph, cluster: Cluster,
     stats = engine.edge_messages(senders, 8.0 * degrees[senders],
                                  serialization_factor=1.0)
 
-    count, _ = triangle_count_fast(graph)
+    masked = kernel_registry.kernel("triangle_counting",
+                                    "masked-spgemm")().prepare(graph)
+    (count, _overlap), _ = masked.step()
 
     # Probe work: each received list N(u) is checked against N(v) on the
     # edge target's owner. The membership structure for the vertex under
@@ -283,13 +278,8 @@ def cf_gd_vertex(ratings: RatingsMatrix, cluster: Cluster,
     p_factors = rng.random((ratings.num_users, hidden_dim)) * scale
     q_factors = rng.random((ratings.num_items, hidden_dim)) * scale
 
-    csr = sparse.csr_matrix(
-        (ratings.ratings, (ratings.users, ratings.items)),
-        shape=(ratings.num_users, ratings.num_items),
-    )
-    csr_t = csr.T.tocsr()
-    user_degrees = ratings.user_degrees().astype(np.float64)
-    item_degrees = ratings.item_degrees().astype(np.float64)
+    kern = kernel_registry.kernel("collaborative_filtering",
+                                  "blocked-gd")().prepare(ratings)
 
     users = np.arange(ratings.num_users, dtype=np.int64)
     items = np.arange(ratings.num_items, dtype=np.int64) + ratings.num_users
@@ -332,10 +322,9 @@ def cf_gd_vertex(ratings: RatingsMatrix, cluster: Cluster,
         with cluster.trace_span("iteration", index=iteration):
             _phase(users, "users->items")
             _phase(items, "items->users")
-            gd_step(csr, csr_t, user_degrees, item_degrees,
-                    p_factors, q_factors, gamma, lambda_reg, lambda_reg)
+            kern.step(p_factors, q_factors, gamma, lambda_reg, lambda_reg)
             gamma *= step_decay
-            rmse_curve.append(training_rmse(ratings, p_factors, q_factors))
+            rmse_curve.append(kern.rmse(p_factors, q_factors))
             cluster.mark_iteration()
 
     return AlgorithmResult(

@@ -22,8 +22,10 @@ from .runner import (
     STATUS_UNSUPPORTED,
     RunResult,
     default_params,
+    run,
     run_experiment,
 )
+from .spec import ExperimentSpec, valid_params
 from .strong_scaling import parallel_efficiency, strong_scaling
 from .sweep import (
     CellOutcome,
@@ -41,6 +43,7 @@ __all__ = [
     "CellOutcome",
     "CellPolicy",
     "CellRecord",
+    "ExperimentSpec",
     "execute_cell",
     "Graph500Result",
     "STATUS_FAILED",
@@ -69,8 +72,10 @@ __all__ = [
     "figure7",
     "paper_scale_factor",
     "report",
+    "run",
     "run_experiment",
     "sgd_vs_gd",
+    "valid_params",
     "single_node_graph",
     "single_node_ratings",
     "table1",

@@ -1,17 +1,20 @@
 """Experiment runner: one (algorithm, framework, dataset, nodes) cell.
 
-This is the single front door to the study. :func:`run_experiment` wraps
-the registry runners with cluster construction, the paper-scale
-extrapolation factor, per-algorithm default parameters
-(:func:`default_params`), optional flight-recorder tracing, and failure
-classification: out-of-memory and expressibility failures are *results*
-in this paper (CombBLAS's Twitter triangle counting OOM, Galois's
-missing multi-node support), not crashes, so they come back as statuses
-instead of exceptions.
+This is the single front door to the study. :func:`run` takes a typed
+:class:`~repro.harness.spec.ExperimentSpec` and wraps the registry
+runners with cluster construction, the paper-scale extrapolation
+factor, per-algorithm default parameters (:func:`default_params`),
+optional flight-recorder tracing, and failure classification:
+out-of-memory and expressibility failures are *results* in this paper
+(CombBLAS's Twitter triangle counting OOM, Galois's missing multi-node
+support), not crashes, so they come back as statuses instead of
+exceptions. :func:`run_experiment` is the historical keyword-tail
+entry point, now a thin shim that builds the spec and delegates.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +29,8 @@ from ..errors import (
     ReproError,
 )
 from ..frameworks.results import AlgorithmResult
+from ..kernels.backend import use_backend
+from .spec import ExperimentSpec
 
 STATUS_OK = "ok"
 STATUS_OOM = "out-of-memory"
@@ -146,50 +151,59 @@ class RunResult:
         return out
 
 
-def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
-                   scale_factor: float = 1.0, enforce_memory: bool = True,
-                   trace=None, faults=None, fault_seed: int = 0,
-                   recovery=None, deadline_s: float = None,
-                   **params) -> RunResult:
-    """Run one cell of the study on a fresh simulated cluster.
+def run(spec: ExperimentSpec, trace=None) -> RunResult:
+    """Run one :class:`ExperimentSpec` cell on a fresh simulated cluster.
 
-    ``scale_factor`` is paper size / proxy size; it extrapolates the
-    counted work, traffic and memory to the paper's dataset sizes.
+    ``spec.scale_factor`` is paper size / proxy size; it extrapolates
+    the counted work, traffic and memory to the paper's dataset sizes.
     Unspecified algorithm parameters fall back to
     :func:`default_params`. Pass ``trace=Tracer()`` to flight-record the
     run; the tracer comes back on ``RunResult.trace`` with every span
     and counter the execution stack emitted.
 
-    ``faults`` turns the cell into a chaos run: either a spec string
-    (``"crash(node=2, superstep=3); drop(p=0.01)"``, seeded with
-    ``fault_seed``) or a :class:`~repro.chaos.FaultSchedule`. The
+    ``spec.dataset`` may be a catalog name (resolved through
+    :func:`repro.datagen.dataset`) or an in-memory graph/ratings object.
+    ``spec.kernels`` pins the kernel backend for the duration of the
+    run; simulated results are backend-independent, so this only moves
+    wall-clock time.
+
+    ``spec.faults`` turns the cell into a chaos run: either a spec
+    string (``"crash(node=2, superstep=3); drop(p=0.01)"``, seeded with
+    ``spec.fault_seed``) or a :class:`~repro.chaos.FaultSchedule`. The
     framework's own :class:`~repro.chaos.RecoveryPolicy` applies unless
-    ``recovery`` overrides it; fault-free runs are byte-for-byte
+    ``spec.recovery`` overrides it; fault-free runs are byte-for-byte
     unaffected. Recovery accounting lands on ``RunResult.recovery``.
     Crashes a fail-fast framework cannot absorb raise
     :class:`~repro.errors.NodeFailure`.
 
-    ``deadline_s`` caps the cell's *simulated* runtime: the cluster
+    ``spec.deadline_s`` caps the cell's *simulated* runtime: the cluster
     raises :class:`~repro.errors.DeadlineExceeded` once its clock
     crosses the budget, which comes back as a ``timeout`` status — the
     paper's DNF dash — instead of an exception.
     """
-    run = _lookup(algorithm, framework)
+    algorithm, framework, nodes = spec.algorithm, spec.framework, spec.nodes
+    dataset = spec.dataset
+    if isinstance(dataset, str):
+        from ..datagen import dataset as _catalog
+        dataset = _catalog(dataset)
+    runner = _lookup(algorithm, framework)
     merged = dict(default_params(algorithm, dataset))
-    merged.update(params)
+    merged.update(spec.params)
+    faults = spec.faults
+    recovery = spec.recovery
     if isinstance(faults, str):
-        faults = FaultSchedule.from_spec(faults, seed=fault_seed)
+        faults = FaultSchedule.from_spec(faults, seed=spec.fault_seed)
     elif faults is not None:
         faults = faults.fresh()
     if faults is not None and recovery is None:
         recovery = profile_for(framework).recovery_policy()
-    cluster = Cluster(paper_cluster(nodes), scale_factor=scale_factor,
-                      enforce_memory=enforce_memory, tracer=trace,
+    cluster = Cluster(paper_cluster(nodes), scale_factor=spec.scale_factor,
+                      enforce_memory=spec.enforce_memory, tracer=trace,
                       faults=faults, recovery=recovery,
-                      deadline_s=deadline_s)
-    config = {"nodes": nodes, "scale_factor": scale_factor, **merged}
-    if deadline_s is not None:
-        config["deadline_s"] = deadline_s
+                      deadline_s=spec.deadline_s)
+    config = {"nodes": nodes, "scale_factor": spec.scale_factor, **merged}
+    if spec.deadline_s is not None:
+        config["deadline_s"] = spec.deadline_s
     if faults is not None:
         config["faults"] = faults.spec()
         config["fault_seed"] = faults.seed
@@ -201,10 +215,12 @@ def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
         cell.recovery = cluster.recovery_stats() if faults is not None else None
         return cell
 
-    with cluster.trace_span("run", algorithm=algorithm,
-                            framework=framework, nodes=nodes):
+    backend = (use_backend(spec.kernels) if spec.kernels is not None
+               else contextlib.nullcontext())
+    with backend, cluster.trace_span("run", algorithm=algorithm,
+                                     framework=framework, nodes=nodes):
         try:
-            result = run(dataset, cluster, **merged)
+            result = runner(dataset, cluster, **merged)
         except CapacityError as error:
             return _finish(STATUS_OOM, failure=str(error))
         except ExpressibilityError as error:
@@ -216,3 +232,25 @@ def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
                 return _finish(STATUS_UNSUPPORTED, failure=str(error))
             raise
     return _finish(STATUS_OK, result=result)
+
+
+def run_experiment(algorithm: str, framework: str, dataset, nodes: int = 1,
+                   scale_factor: float = 1.0, enforce_memory: bool = True,
+                   trace=None, faults=None, fault_seed: int = 0,
+                   recovery=None, deadline_s: float = None,
+                   **params) -> RunResult:
+    """Thin shim over :class:`ExperimentSpec` + :func:`run`.
+
+    Kept for compatibility — new code should build an
+    :class:`ExperimentSpec` and call :func:`run` directly. Constructing
+    the spec validates every field, so unknown ``**params`` keys now
+    raise :class:`~repro.errors.SpecError` naming the valid parameters
+    instead of disappearing into a runner's keyword tail.
+    """
+    spec = ExperimentSpec(
+        algorithm=algorithm, framework=framework, dataset=dataset,
+        nodes=nodes, scale_factor=scale_factor,
+        enforce_memory=enforce_memory, faults=faults, fault_seed=fault_seed,
+        recovery=recovery, deadline_s=deadline_s, params=params,
+    )
+    return run(spec, trace=trace)

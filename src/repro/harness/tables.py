@@ -20,7 +20,8 @@ from .datasets import (
     single_node_ratings,
     weak_scaling_dataset,
 )
-from .runner import default_params, run_experiment
+from .runner import default_params, run, run_experiment
+from .spec import ExperimentSpec
 from .sweep import Sweep, outcome_of
 
 #: Frameworks of the headline comparison, in the paper's column order.
@@ -83,20 +84,22 @@ def _geomean(values) -> float:
 def _single_node_cell(key: dict, budget_s: float = None):
     """Sweep executor for one Figure 3 / Table 5 cell (1 node)."""
     data, factor = _single_node_dataset(key["algorithm"], key["dataset"])
-    run = run_experiment(key["algorithm"], key["framework"], data, nodes=1,
-                         scale_factor=factor, deadline_s=budget_s,
-                         **_params(key["algorithm"], data))
-    return outcome_of(run)
+    spec = ExperimentSpec(algorithm=key["algorithm"],
+                          framework=key["framework"], dataset=data, nodes=1,
+                          scale_factor=factor, deadline_s=budget_s,
+                          params=_params(key["algorithm"], data))
+    return outcome_of(run(spec))
 
 
 def _weak_scaling_cell(key: dict, budget_s: float = None):
     """Sweep executor for one Figure 4 / Table 6 weak-scaling cell."""
     data, factor = weak_scaling_dataset(key["algorithm"], key["nodes"])
-    run = run_experiment(key["algorithm"], key["framework"], data,
-                         nodes=key["nodes"], scale_factor=factor,
-                         deadline_s=budget_s,
-                         **_params(key["algorithm"], data))
-    return outcome_of(run)
+    spec = ExperimentSpec(algorithm=key["algorithm"],
+                          framework=key["framework"], dataset=data,
+                          nodes=key["nodes"], scale_factor=factor,
+                          deadline_s=budget_s,
+                          params=_params(key["algorithm"], data))
+    return outcome_of(run(spec))
 
 
 def _slowdown_table(result, algorithms, frameworks, axis: str,

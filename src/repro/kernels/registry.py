@@ -1,0 +1,39 @@
+"""Dispatch table: ``(algorithm, direction)`` -> kernel class.
+
+Mirrors :mod:`repro.algorithms.registry`'s ``(algorithm, framework)``
+table one layer down: engines look their numeric hot loop up here
+instead of importing concrete functions, so a new backend or a swapped
+kernel implementation never touches engine code.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError
+from .sgd import CFBlockedGD, CFBlockedSGD
+from .spmv import BFSPush, PageRankPull
+from .triangles import TriangleMaskedCount
+
+KERNELS = {
+    ("pagerank", "pull"): PageRankPull,
+    ("bfs", "push"): BFSPush,
+    ("triangle_counting", "masked-spgemm"): TriangleMaskedCount,
+    ("collaborative_filtering", "blocked-gd"): CFBlockedGD,
+    ("collaborative_filtering", "blocked-sgd"): CFBlockedSGD,
+}
+
+
+def directions(algorithm: str) -> tuple:
+    """The registered directions for one algorithm, sorted."""
+    return tuple(sorted(d for (a, d) in KERNELS if a == algorithm))
+
+
+def kernel(algorithm: str, direction: str):
+    """Look up a kernel class; raises :class:`KernelError` on a miss."""
+    try:
+        return KERNELS[(algorithm, direction)]
+    except KeyError:
+        known = ", ".join(f"{a}/{d}" for a, d in sorted(KERNELS))
+        raise KernelError(
+            f"no kernel registered for ({algorithm!r}, {direction!r}); "
+            f"known: {known}"
+        ) from None

@@ -1,0 +1,164 @@
+"""Semiring SpMV / SpMSpV kernels: PageRank pull and BFS frontier push.
+
+These are the two hot loops the paper's iterative workloads share across
+every framework family. The vectorized backend is numpy segment algebra
+(``np.repeat`` + ``np.bincount`` is y = A^T x over plus-times); the
+interpreted backend replays the same accumulation *order* edge by edge
+in pure Python, so the two agree bit-for-bit on the outputs (``bincount``
+folds weights in input order, which the Python loop replicates exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .backend import interpreted
+from .base import Kernel, KernelWork
+
+
+class PageRankPull(Kernel):
+    """One pull-direction PageRank iteration: ``r' = d + (1-d) A^T (r/deg)``.
+
+    The unnormalized equation-1 update every engine runs (paper r=0.3),
+    expressed as a plus-times SpMV over degree-scaled ranks.
+    """
+
+    algorithm = "pagerank"
+    direction = "pull"
+
+    def __init__(self, damping: float = 0.3):
+        self.damping = damping
+
+    def prepare(self, graph):
+        self.graph = graph
+        self.out_degrees = graph.out_degrees()
+        self.safe = np.maximum(self.out_degrees, 1)
+        return self
+
+    def step(self, ranks):
+        graph = self.graph
+        n = graph.num_vertices
+        if interpreted():
+            gathered = self._gather_interpreted(ranks)
+        else:
+            contributions = np.where(self.out_degrees > 0,
+                                     ranks / self.safe, 0.0)
+            per_edge = np.repeat(contributions, self.out_degrees)
+            gathered = np.bincount(graph.targets, weights=per_edge,
+                                   minlength=n)
+        new_ranks = self.damping + (1.0 - self.damping) * gathered
+        work = KernelWork(edges=float(graph.num_edges), vertices=float(n))
+        return new_ranks, work
+
+    def _gather_interpreted(self, ranks):
+        """Edge-at-a-time oracle, in ``bincount``'s accumulation order."""
+        graph = self.graph
+        n = graph.num_vertices
+        offsets = graph.offsets.tolist()
+        targets = graph.targets.tolist()
+        gathered = [0.0] * n
+        for u in range(n):
+            start, end = offsets[u], offsets[u + 1]
+            if end == start:
+                continue
+            contribution = float(ranks[u]) / (end - start)
+            for e in range(start, end):
+                gathered[targets[e]] += contribution
+        return np.array(gathered, dtype=np.float64)
+
+
+class BFSPush(Kernel):
+    """BFS frontier expansion: the boolean SpMSpV of equation 10.
+
+    ``step(frontier)`` returns the sorted unique neighbor candidates of
+    the frontier; the caller masks them against its visited structure
+    (dense distances array, bit-vector, ...), which is engine policy,
+    not kernel numerics.
+    """
+
+    algorithm = "bfs"
+    direction = "push"
+
+    def prepare(self, graph):
+        self.graph = graph
+        self.out_degrees = graph.out_degrees()
+        return self
+
+    def step(self, frontier):
+        work = KernelWork(edges=float(self.out_degrees[frontier].sum()),
+                          frontier=float(frontier.size))
+        if interpreted():
+            candidates = self._expand_interpreted(frontier)
+        else:
+            neighbors, _ = self.graph.neighbors_of_many(frontier)
+            candidates = np.unique(neighbors)
+        return candidates, work
+
+    def _expand_interpreted(self, frontier):
+        offsets = self.graph.offsets.tolist()
+        targets = self.graph.targets.tolist()
+        seen = set()
+        for u in frontier.tolist():
+            for e in range(offsets[u], offsets[u + 1]):
+                seen.add(targets[e])
+        return np.array(sorted(seen), dtype=np.int64)
+
+
+def semiring_spmv(graph, x, semiring, edge_values=None):
+    """``y = A^T x`` over an arbitrary ``(add, multiply, zero)`` semiring.
+
+    The CombBLAS primitive (matrix family): plus-times carries PageRank,
+    min-plus relaxes BFS distances, or-and expands boolean frontiers.
+    The interpreted oracle covers those three named semirings with
+    scalar loops; other (user-defined) semirings always run vectorized,
+    because their ``add_reduce`` is a segment callable the oracle cannot
+    replay element-wise.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (graph.num_vertices,):
+        raise ValueError(
+            f"x must have {graph.num_vertices} entries, got {x.shape}"
+        )
+    if edge_values is None:
+        edge_values = np.ones(graph.num_edges)
+    else:
+        edge_values = np.asarray(edge_values, dtype=np.float64)
+        if edge_values.shape != (graph.num_edges,):
+            raise ValueError("edge_values must have one entry per edge")
+    if interpreted() and semiring.name in ("plus-times", "min-plus", "or-and"):
+        return _semiring_spmv_interpreted(graph, x, semiring, edge_values)
+    sources = graph.sources()
+    combined = semiring.multiply(edge_values, x[sources])
+    reduced = semiring.add_reduce(combined, graph.targets, graph.num_vertices)
+    # Positions never reduced into hold the additive identity.
+    touched = np.zeros(graph.num_vertices, dtype=bool)
+    touched[graph.targets] = True
+    return np.where(touched, reduced, semiring.zero)
+
+
+def _semiring_spmv_interpreted(graph, x, semiring, edge_values):
+    """Scalar edge loop for the three paper semirings, order-matched."""
+    n = graph.num_vertices
+    offsets = graph.offsets.tolist()
+    targets = graph.targets.tolist()
+    values = edge_values.tolist()
+    zero = float(semiring.zero)
+    out = [zero] * n
+    touched = [False] * n
+    name = semiring.name
+    for u in range(n):
+        xu = float(x[u])
+        for e in range(offsets[u], offsets[u + 1]):
+            t = targets[e]
+            a = values[e]
+            if name == "plus-times":
+                combined = a * xu
+                out[t] = combined if not touched[t] else out[t] + combined
+            elif name == "min-plus":
+                combined = a + xu
+                out[t] = combined if not touched[t] else min(out[t], combined)
+            else:  # or-and
+                combined = 1.0 if (a != 0.0 and xu != 0.0) else 0.0
+                out[t] = combined if not touched[t] else max(out[t], combined)
+            touched[t] = True
+    return np.array(out, dtype=np.float64)

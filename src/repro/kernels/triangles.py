@@ -1,0 +1,137 @@
+"""Masked ``nnz(A ∘ A²)`` triangle kernels.
+
+On an id-oriented graph, the overlap matrix ``(A @ A) ∘ A`` holds, per
+oriented edge (u, w), the number of two-paths u -> x -> w — each
+triangle u < x < w counted exactly once at its (u, w) edge. The
+vectorized backend computes it as one sparse matrix product (what every
+engine's counting reduces to); the interpreted backend replays it with
+per-edge Python set intersections, producing the *same* overlap matrix
+structure and values. ``aa_product``/``masked_sum`` expose the unfused
+two-step form CombBLAS is stuck with (Section 6.2's missing
+inter-operation optimization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..algorithms.triangles import require_oriented
+from .backend import interpreted
+from .base import Kernel, KernelWork
+
+
+class TriangleMaskedCount(Kernel):
+    """Fused masked count: ``sum((A @ A) ∘ A)`` plus the overlap matrix."""
+
+    algorithm = "triangle_counting"
+    direction = "masked-spgemm"
+
+    def prepare(self, graph):
+        require_oriented(graph)
+        self.graph = graph
+        return self
+
+    def step(self):
+        graph = self.graph
+        if interpreted():
+            count, overlap = _overlap_interpreted(graph)
+        else:
+            n = graph.num_vertices
+            adjacency = sparse.csr_matrix(
+                (np.ones(graph.num_edges, dtype=np.float64),
+                 graph.targets.astype(np.int64),
+                 graph.offsets.astype(np.int64)),
+                shape=(n, n),
+            )
+            paths = adjacency @ adjacency
+            overlap = paths.multiply(adjacency)
+            count = int(overlap.sum())
+        work = KernelWork(edges=float(graph.num_edges),
+                          vertices=float(graph.num_vertices))
+        return (count, overlap), work
+
+
+def _overlap_interpreted(graph):
+    """Per-edge two-path counting: ``|N_out(u) ∩ N_in(w)|`` for each edge."""
+    reverse = graph.reverse()
+    offsets = graph.offsets.tolist()
+    targets = graph.targets.tolist()
+    in_offsets = reverse.offsets.tolist()
+    in_targets = reverse.targets.tolist()
+    rows, cols, data = [], [], []
+    total = 0
+    for u in range(graph.num_vertices):
+        start, end = offsets[u], offsets[u + 1]
+        if end == start:
+            continue
+        out_u = set(targets[start:end])
+        for e in range(start, end):
+            w = targets[e]
+            paths = 0
+            for f in range(in_offsets[w], in_offsets[w + 1]):
+                if in_targets[f] in out_u:
+                    paths += 1
+            if paths:
+                rows.append(u)
+                cols.append(w)
+                data.append(float(paths))
+                total += paths
+    n = graph.num_vertices
+    overlap = sparse.csr_matrix(
+        (np.array(data), (np.array(rows, dtype=np.int64),
+                          np.array(cols, dtype=np.int64))),
+        shape=(n, n),
+    )
+    return total, overlap
+
+
+def aa_product(adjacency):
+    """``A @ A`` with the full product materialized (CombBLAS's SpGEMM)."""
+    if not interpreted():
+        return adjacency @ adjacency
+    n = adjacency.shape[0]
+    indptr = adjacency.indptr.tolist()
+    indices = adjacency.indices.tolist()
+    values = adjacency.data.tolist()
+    out_indptr = [0]
+    out_indices = []
+    out_data = []
+    for u in range(n):
+        accumulator = {}
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            a_uv = values[e]
+            for f in range(indptr[v], indptr[v + 1]):
+                w = indices[f]
+                accumulator[w] = accumulator.get(w, 0.0) + a_uv * values[f]
+        for w in sorted(accumulator):
+            out_indices.append(w)
+            out_data.append(accumulator[w])
+        out_indptr.append(len(out_indices))
+    return sparse.csr_matrix(
+        (np.array(out_data), np.array(out_indices, dtype=np.int64),
+         np.array(out_indptr, dtype=np.int64)),
+        shape=(n, n),
+    )
+
+
+def masked_sum(adjacency, product) -> float:
+    """``sum(A ∘ product)`` — the elementwise mask-and-reduce step."""
+    if not interpreted():
+        return float(adjacency.multiply(product).sum())
+    indptr = adjacency.indptr.tolist()
+    indices = adjacency.indices.tolist()
+    values = adjacency.data.tolist()
+    p_indptr = product.indptr.tolist()
+    p_indices = product.indices.tolist()
+    p_data = product.data.tolist()
+    total = 0.0
+    for u in range(adjacency.shape[0]):
+        row = {p_indices[f]: p_data[f]
+               for f in range(p_indptr[u], p_indptr[u + 1])}
+        for e in range(indptr[u], indptr[u + 1]):
+            entry = row.get(indices[e])
+            if entry is not None:
+                total += values[e] * entry
+    return float(total)

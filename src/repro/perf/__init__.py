@@ -21,16 +21,20 @@ from .baselines import (
     DEFAULT_TOLERANCE,
     GATE_FRAMEWORKS,
     GATE_NODE_COUNTS,
+    KERNEL_REPORT_SUBSET,
     CellCheck,
     GateReport,
     cell_key,
     check,
+    check_kernel_backends,
     load_baseline,
     measure_cells,
+    measure_kernel_backends,
     measure_parallel_sweep,
     measure_wall_clock,
     parse_injection,
     record,
+    render_kernel_report,
 )
 from .model import Roofline, roofline_of, roofline_of_run, roofline_table
 from .report import (
@@ -51,6 +55,7 @@ __all__ = [
     "GapAttribution",
     "GapFactor",
     "GateReport",
+    "KERNEL_REPORT_SUBSET",
     "Roofline",
     "WHAT_IFS",
     "advise",
@@ -59,9 +64,11 @@ __all__ = [
     "attribute_cell",
     "cell_key",
     "check",
+    "check_kernel_backends",
     "classify",
     "load_baseline",
     "measure_cells",
+    "measure_kernel_backends",
     "measure_parallel_sweep",
     "measure_wall_clock",
     "parse_injection",
@@ -69,6 +76,7 @@ __all__ = [
     "render_advice",
     "render_attribution",
     "render_gate",
+    "render_kernel_report",
     "render_parallel",
     "render_roofline",
     "roofline_of",

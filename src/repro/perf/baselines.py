@@ -169,6 +169,87 @@ def measure_parallel_sweep(jobs: int = 0, subset=None) -> dict:
     }
 
 
+#: Subset the kernel-backend report runs: every algorithm on the two
+#: pure-kernel engine families, at both gate node counts. CF dominates
+#: the wall clock, which is exactly where the interpreted oracle is
+#: slowest, so the measured speedup is a conservative lower bound for
+#: kernel-heavy sweeps.
+KERNEL_REPORT_SUBSET = {
+    "algorithms": None,                  # all of ALGORITHMS
+    "frameworks": ("native", "galois"),
+    "node_counts": GATE_NODE_COUNTS,
+}
+
+
+def measure_kernel_backends(subset=None) -> dict:
+    """Differential + speedup report for the ``REPRO_KERNELS`` backends.
+
+    Runs the subset cells under both backends and reports (a) whether
+    the recorded cell payloads (status + simulated runtime) are
+    identical — they must be, counted work is analytic — and (b) the
+    wall-clock speedup of the vectorized kernels over the interpreted
+    oracle. The identity half is exact; the speedup half is wall-clock
+    and machine-dependent, so gates on it use a generous threshold.
+    """
+    from ..kernels import INTERPRETED, VECTORIZED, use_backend
+
+    subset = dict(KERNEL_REPORT_SUBSET if subset is None else subset)
+    # Warm the dataset caches so both timed passes measure execution.
+    measure_cells(**subset)
+    payloads, elapsed = {}, {}
+    for backend in (VECTORIZED, INTERPRETED):
+        with use_backend(backend):
+            start = time.perf_counter()
+            payloads[backend] = measure_cells(**subset)
+            elapsed[backend] = time.perf_counter() - start
+    mismatched = sorted(
+        key for key in payloads[VECTORIZED]
+        if payloads[VECTORIZED][key] != payloads[INTERPRETED].get(key)
+    )
+    return {
+        "cells": len(payloads[VECTORIZED]),
+        "vectorized_s": elapsed[VECTORIZED],
+        "interpreted_s": elapsed[INTERPRETED],
+        "speedup": elapsed[INTERPRETED] / max(elapsed[VECTORIZED], 1e-9),
+        "identical": not mismatched,
+        "mismatched": mismatched,
+    }
+
+
+def check_kernel_backends(min_speedup: float = 2.0, subset=None) -> dict:
+    """Run :func:`measure_kernel_backends` and gate on the result.
+
+    Raises :class:`~repro.errors.PerfRegression` when the backends
+    disagree on any cell payload (a correctness bug in a kernel's
+    vectorized/interpreted pair) or when the vectorized speedup falls
+    below ``min_speedup``.
+    """
+    report = measure_kernel_backends(subset)
+    if not report["identical"]:
+        cells = ", ".join(report["mismatched"])
+        raise PerfRegression(
+            f"kernel backends disagree on {len(report['mismatched'])} "
+            f"cell(s): {cells} — vectorized and interpreted must produce "
+            f"identical simulated results"
+        )
+    if report["speedup"] < min_speedup:
+        raise PerfRegression(
+            f"vectorized kernels are only {report['speedup']:.2f}x faster "
+            f"than the interpreted oracle (required: {min_speedup:.2f}x)"
+        )
+    return report
+
+
+def render_kernel_report(report: dict) -> str:
+    """One-paragraph human rendering of a kernel-backend report."""
+    status = "identical" if report["identical"] else (
+        f"MISMATCHED ({', '.join(report['mismatched'])})")
+    return (f"kernel backends over {report['cells']} cells: payloads "
+            f"{status}; vectorized {report['vectorized_s']:.2f}s vs "
+            f"interpreted {report['interpreted_s']:.2f}s "
+            f"({report['speedup']:.1f}x speedup)")
+
+
 def record(path=DEFAULT_BASELINE, algorithms=None,
            frameworks=GATE_FRAMEWORKS, node_counts=GATE_NODE_COUNTS,
            benchmarks=(), parallel_jobs=None) -> dict:

@@ -1,0 +1,141 @@
+"""Tests for the typed ExperimentSpec facade and the run_experiment shim."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datagen import rmat_graph
+from repro.errors import SpecError
+from repro.harness import (
+    ExperimentSpec,
+    run,
+    run_experiment,
+    valid_params,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(scale=8, edge_factor=8, seed=11)
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(SpecError, match="unknown algorithm"):
+            ExperimentSpec(algorithm="sssp", framework="native",
+                           dataset="rmat_mini")
+
+    def test_unknown_framework(self):
+        with pytest.raises(SpecError, match="unknown framework"):
+            ExperimentSpec(algorithm="bfs", framework="spark",
+                           dataset="rmat_mini")
+
+    def test_unknown_param_names_valid_ones(self):
+        with pytest.raises(SpecError) as info:
+            ExperimentSpec(algorithm="pagerank", framework="native",
+                           dataset="rmat_mini",
+                           params={"iteratoins": 3})
+        assert "'iteratoins'" in str(info.value)
+        assert "iterations" in str(info.value)
+        assert "damping" in str(info.value)
+
+    def test_shim_rejects_typoed_kwargs(self, graph):
+        # The historical bug: a misspelled parameter silently vanished
+        # into the runner's keyword tail. Now it is a typed error.
+        with pytest.raises(SpecError, match="valid:"):
+            run_experiment("pagerank", "native", graph, iteratoins=3)
+
+    def test_bad_nodes_and_scale(self):
+        with pytest.raises(SpecError, match="nodes"):
+            ExperimentSpec(algorithm="bfs", framework="native",
+                           dataset="rmat_mini", nodes=0)
+        with pytest.raises(SpecError, match="scale_factor"):
+            ExperimentSpec(algorithm="bfs", framework="native",
+                           dataset="rmat_mini", scale_factor=0.0)
+
+    def test_bad_kernels_backend(self):
+        with pytest.raises(SpecError, match="kernel backend"):
+            ExperimentSpec(algorithm="bfs", framework="native",
+                           dataset="rmat_mini", kernels="simd")
+
+    def test_valid_params_union(self):
+        params = valid_params("pagerank")
+        assert "iterations" in params
+        assert "damping" in params               # native + vertex engines
+        assert "tolerance" in params             # native-only — union'd in
+        cf = valid_params("collaborative_filtering")
+        assert "hidden_dim" in cf and "method" in cf
+        assert "superstep_splits" in cf          # giraph-only — union'd in
+
+    def test_frozen(self):
+        spec = ExperimentSpec(algorithm="bfs", framework="native",
+                              dataset="rmat_mini")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.nodes = 4
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        spec = ExperimentSpec(
+            algorithm="pagerank", framework="giraph", dataset="facebook",
+            nodes=4, scale_factor=2.5, deadline_s=10.0,
+            kernels="vectorized", faults="drop(p=0.01)", fault_seed=3,
+            params={"iterations": 2},
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_in_memory_dataset_does_not_serialize(self, graph):
+        spec = ExperimentSpec(algorithm="bfs", framework="native",
+                              dataset=graph)
+        with pytest.raises(SpecError, match="catalog-name"):
+            spec.to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SpecError, match="unknown spec field"):
+            ExperimentSpec.from_dict({"algorithm": "bfs",
+                                      "framework": "native",
+                                      "dataset": "rmat_mini",
+                                      "cluster": 4})
+
+
+class TestRunEquivalence:
+    def test_shim_equals_spec_run(self, graph):
+        legacy = run_experiment("pagerank", "native", graph, nodes=2,
+                                iterations=3)
+        spec = ExperimentSpec(algorithm="pagerank", framework="native",
+                              dataset=graph, nodes=2,
+                              params={"iterations": 3})
+        typed = run(spec)
+        assert legacy.status == typed.status == "ok"
+        assert np.array_equal(legacy.result.values, typed.result.values)
+        assert legacy.runtime() == typed.runtime()
+        assert legacy.config == typed.config
+
+    def test_string_dataset_resolves_through_catalog(self):
+        spec = ExperimentSpec(algorithm="bfs", framework="native",
+                              dataset="rmat_mini")
+        result = run(spec)
+        assert result.ok
+        assert result.runtime() > 0
+
+    def test_spec_kernels_pins_backend(self, graph):
+        by_backend = {}
+        for backend in ("vectorized", "interpreted"):
+            spec = ExperimentSpec(algorithm="pagerank", framework="native",
+                                  dataset=graph, kernels=backend,
+                                  params={"iterations": 2})
+            by_backend[backend] = run(spec)
+        vec, interp = by_backend["vectorized"], by_backend["interpreted"]
+        assert np.array_equal(vec.result.values, interp.result.values)
+        assert vec.runtime() == interp.runtime()
+
+    def test_chaos_spec_still_runs(self, graph):
+        spec = ExperimentSpec(algorithm="pagerank", framework="giraph",
+                              dataset=graph, nodes=4,
+                              faults="crash(node=2, superstep=1)",
+                              params={"iterations": 3})
+        result = run(spec)
+        assert result.ok
+        assert result.recovery is not None
+        assert result.recovery.crashes == 1

@@ -268,9 +268,9 @@ class TestTable5EndToEnd:
 
         import repro.harness.tables as tables_module
 
-        real = tables_module.run_experiment
+        real = tables_module.run
         counter = []
-        monkeypatch.setattr(tables_module, "run_experiment",
+        monkeypatch.setattr(tables_module, "run",
                             lambda *a, **k: counter.append(a) or
                             real(*a, **k))
 
