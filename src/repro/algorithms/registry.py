@@ -19,7 +19,8 @@ from ..frameworks.task import galois
 from ..frameworks.vertex import giraph, gps, graphlab, graphx
 
 ALGORITHMS = ("pagerank", "bfs", "triangle_counting",
-              "collaborative_filtering")
+              "collaborative_filtering",
+              "wcc", "sssp", "k_core", "label_propagation")
 #: The paper's frameworks plus the Section 7 related-work systems.
 FRAMEWORKS = ("native", "combblas", "graphlab", "socialite",
               "socialite-published", "giraph", "galois", "gps", "graphx", "kdt")
@@ -86,6 +87,65 @@ _RUNNERS = {
     ("triangle_counting", "graphx"): graphx.triangle_count,
     ("collaborative_filtering", "graphx"): graphx.collaborative_filtering,
 }
+
+# Second-generation workloads (WCC, SSSP, k-core, label propagation)
+# across the same ten frameworks. SociaLite's k_core / label_propagation
+# entries are registered stubs that raise ExpressibilityError when run:
+# the combinations exist (so sweeps enumerate them as typed DNF cells)
+# but the language cannot express them — see their docstrings.
+_RUNNERS.update({
+    ("wcc", "native"): native.wcc,
+    ("sssp", "native"): native.sssp,
+    ("k_core", "native"): native.kcore,
+    ("label_propagation", "native"): native.label_propagation,
+
+    ("wcc", "combblas"): combblas.wcc,
+    ("sssp", "combblas"): combblas.sssp,
+    ("k_core", "combblas"): combblas.k_core,
+    ("label_propagation", "combblas"): combblas.label_propagation,
+
+    ("wcc", "graphlab"): graphlab.wcc,
+    ("sssp", "graphlab"): graphlab.sssp,
+    ("k_core", "graphlab"): graphlab.k_core,
+    ("label_propagation", "graphlab"): graphlab.label_propagation,
+
+    ("wcc", "socialite"): socialite.wcc,
+    ("sssp", "socialite"): socialite.sssp,
+    ("k_core", "socialite"): socialite.k_core,
+    ("label_propagation", "socialite"): socialite.label_propagation,
+
+    ("wcc", "socialite-published"): _socialite_published(socialite.wcc),
+    ("sssp", "socialite-published"): _socialite_published(socialite.sssp),
+    ("k_core", "socialite-published"):
+        _socialite_published(socialite.k_core),
+    ("label_propagation", "socialite-published"):
+        _socialite_published(socialite.label_propagation),
+
+    ("wcc", "giraph"): giraph.wcc,
+    ("sssp", "giraph"): giraph.sssp,
+    ("k_core", "giraph"): giraph.k_core,
+    ("label_propagation", "giraph"): giraph.label_propagation,
+
+    ("wcc", "galois"): galois.wcc,
+    ("sssp", "galois"): galois.sssp,
+    ("k_core", "galois"): galois.k_core,
+    ("label_propagation", "galois"): galois.label_propagation,
+
+    ("wcc", "gps"): gps.wcc,
+    ("sssp", "gps"): gps.sssp,
+    ("k_core", "gps"): gps.k_core,
+    ("label_propagation", "gps"): gps.label_propagation,
+
+    ("wcc", "kdt"): kdt.wcc,
+    ("sssp", "kdt"): kdt.sssp,
+    ("k_core", "kdt"): kdt.k_core,
+    ("label_propagation", "kdt"): kdt.label_propagation,
+
+    ("wcc", "graphx"): graphx.wcc,
+    ("sssp", "graphx"): graphx.sssp,
+    ("k_core", "graphx"): graphx.k_core,
+    ("label_propagation", "graphx"): graphx.label_propagation,
+})
 
 
 #: Profiles for the Section 7 systems, which live next to their engines

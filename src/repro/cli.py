@@ -99,7 +99,8 @@ def _run_cell(args, trace=None):
     # Only pass what was given (the runner fills in default_params),
     # and only to the algorithms that take it.
     params = {}
-    if args.algorithm in ("pagerank", "collaborative_filtering") \
+    if args.algorithm in ("pagerank", "collaborative_filtering",
+                          "label_propagation") \
             and args.iterations is not None:
         params["iterations"] = args.iterations
     if args.algorithm == "collaborative_filtering" \

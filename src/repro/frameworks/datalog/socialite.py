@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...cluster import Cluster, ComputeWork
+from ...errors import ExpressibilityError
 from ...frameworks.base import SOCIALITE, SOCIALITE_PUBLISHED, FrameworkProfile
 from ...graph import CSRGraph, RatingsMatrix
 from ...kernels import registry as kernel_registry
@@ -353,4 +354,147 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
         metrics=cluster.metrics(),
         extras={"rmse_curve": rmse_curve, "method": "gd",
                 "hidden_dim": hidden_dim, "optimized": optimized},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Second-generation workloads.
+# ---------------------------------------------------------------------------
+
+
+def wcc(graph: CSRGraph, cluster: Cluster,
+        optimized: bool = True) -> AlgorithmResult:
+    """Recursive min-component rule, evaluated semi-naively::
+
+        COMP(t, $MIN(c)) :- t = c              (every vertex seeds itself)
+                         :- COMP(s, c), EDGE(s, t).
+
+    The $MIN lattice makes the recursion monotone, so the delta
+    evaluation converges to the min-id labelling on symmetrized graphs.
+    """
+    profile = _profile(optimized)
+    n = graph.num_vertices
+    engine = SocialiteEngine(cluster.num_nodes, vertex_universe=n,
+                             tracer=cluster.tracer)
+    engine.add(TupleTable("edge", [graph.sources(), graph.targets],
+                          cluster.num_nodes, key_universe=n,
+                          tail_nested=True))
+    comp = AggregateTable("comp", n, "min", cluster.num_nodes)
+    engine.add(comp)
+    _allocate_tables(cluster, engine)
+
+    s, t, c0 = Var("s"), Var("t"), Var("c0")
+    rule = Rule(
+        head=Head("comp", t, c0, agg="min"),
+        body=[Atom("comp", s, c0), Atom("edge", s, t)],
+    )
+
+    changed = comp.combine(np.arange(n), np.arange(n, dtype=np.float64))
+    rounds = 0
+    while changed.size:
+        rounds += 1
+        with cluster.trace_span("round", index=rounds,
+                                delta=int(changed.size)):
+            stats = engine.evaluate(rule, delta_keys=changed)
+            _charge(cluster, profile, stats)
+            cluster.mark_iteration()
+        changed = stats.changed
+
+    labels = comp.values.astype(np.int64)
+    return AlgorithmResult(
+        algorithm="wcc", framework=profile.name, values=labels,
+        iterations=rounds, metrics=cluster.metrics(),
+        extras={"optimized": optimized,
+                "components": int(np.unique(labels).size)},
+    )
+
+
+def sssp(graph: CSRGraph, cluster: Cluster, source: int = 0,
+         optimized: bool = True) -> AlgorithmResult:
+    """The BFS rule with a weighted 3-column edge table::
+
+        DIST(t, $MIN(d)) :- t = SRC, d = 0
+                         :- DIST(s, d0), EDGE(s, t, w), d = d0 + w.
+    """
+    from ...algorithms.sssp import edge_weights_for
+
+    if not 0 <= source < graph.num_vertices:
+        raise ValueError(f"source {source} out of range")
+    profile = _profile(optimized)
+    n = graph.num_vertices
+    engine = SocialiteEngine(cluster.num_nodes, vertex_universe=n,
+                             tracer=cluster.tracer)
+    engine.add(TupleTable(
+        "edge", [graph.sources(), graph.targets, edge_weights_for(graph)],
+        cluster.num_nodes, key_universe=n, tail_nested=True))
+    dist = AggregateTable("dist", n, "min", cluster.num_nodes)
+    engine.add(dist)
+    _allocate_tables(cluster, engine)
+
+    s, t, d0, w = Var("s"), Var("t"), Var("d0"), Var("w")
+    rule = Rule(
+        head=Head("dist", t, Var("d"), agg="min"),
+        body=[Atom("dist", s, d0), Atom("edge", s, t, w)],
+        assigns=[Assign("d", lambda d0_, w_: d0_ + w_, ("d0", "w"))],
+    )
+
+    changed = dist.combine(np.array([source]), np.array([0.0]))
+    tracer = cluster.tracer
+    tracer.count("frontier_size", 1)
+    rounds = 0
+    while changed.size:
+        rounds += 1
+        with cluster.trace_span("round", index=rounds,
+                                delta=int(changed.size)):
+            stats = engine.evaluate(rule, delta_keys=changed)
+            _charge(cluster, profile, stats)
+            cluster.mark_iteration()
+        changed = stats.changed
+        if changed.size:
+            tracer.count("frontier_size", int(changed.size))
+
+    distances = np.where(dist.present, dist.values, np.inf)
+    return AlgorithmResult(
+        algorithm="sssp", framework=profile.name, values=distances,
+        iterations=rounds, metrics=cluster.metrics(),
+        extras={"optimized": optimized,
+                "reached": int(dist.present.sum())},
+    )
+
+
+def k_core(graph: CSRGraph, cluster: Cluster,
+           optimized: bool = True) -> AlgorithmResult:
+    """Unsupported: peeling retracts facts, which Datalog cannot express.
+
+    k-core deletes vertices and *lowers* degrees as it runs — a
+    non-monotone computation. SociaLite's recursion converges only for
+    monotone lattice aggregations ($MIN/$SUM/$INC over a meet
+    semi-lattice, Section 3.1); there is no retraction mechanism to
+    un-derive a vertex's degree once peeling removes a neighbor, so the
+    decomposition is outside the language's expressible fragment.
+    """
+    raise ExpressibilityError(
+        "socialite cannot express k_core: peeling requires retracting "
+        "derived degree facts (non-monotone deletion cascades), but "
+        "SociaLite recursion only converges for monotone lattice "
+        "aggregations like $MIN/$SUM"
+    )
+
+
+def label_propagation(graph: CSRGraph, cluster: Cluster, iterations: int = 3,
+                      seed: int = 0,
+                      optimized: bool = True) -> AlgorithmResult:
+    """Unsupported: the mode (most frequent label) is not a lattice.
+
+    Each round's winner is the *most frequent* neighbor label — an
+    argmax over counts that is neither associative-idempotent nor
+    monotone, so it cannot be an $AGG head: SociaLite offers $MIN/$MAX/
+    $SUM/$INC style lattice folds only, and a frequency argmax cannot be
+    decomposed into them without per-(vertex, label) group-by state the
+    language does not provide.
+    """
+    raise ExpressibilityError(
+        "socialite cannot express label_propagation: the per-round "
+        "most-frequent-label update is an argmax over counts, not a "
+        "monotone lattice aggregation, so it has no $AGG encoding"
     )

@@ -95,3 +95,42 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
                          kernel_calls=iterations * hidden_dim)
     result.metrics = cluster.metrics()
     return _relabel(result)
+
+
+def wcc(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    """Built-in min semiring: near-CombBLAS speed, driver cost per round."""
+    result = combblas.wcc(graph, cluster)
+    _add_python_overhead(cluster, callback_nnz=0.0,
+                         kernel_calls=result.iterations)
+    result.metrics = cluster.metrics()
+    return _relabel(result)
+
+
+def sssp(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
+    """Built-in min-plus semiring: near-CombBLAS speed per round."""
+    result = combblas.sssp(graph, cluster, source)
+    _add_python_overhead(cluster, callback_nnz=0.0,
+                         kernel_calls=result.iterations)
+    result.metrics = cluster.metrics()
+    return _relabel(result)
+
+
+def k_core(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    """The liveness mask is a Python filter over every peeled nonzero."""
+    result = combblas.k_core(graph, cluster)
+    _add_python_overhead(cluster,
+                         callback_nnz=result.extras["peeled_edges"],
+                         kernel_calls=result.iterations)
+    result.metrics = cluster.metrics()
+    return _relabel(result)
+
+
+def label_propagation(graph: CSRGraph, cluster: Cluster, iterations: int = 3,
+                      seed: int = 0) -> AlgorithmResult:
+    """The mode aggregation is a user-defined add: per-nnz callback."""
+    result = combblas.label_propagation(graph, cluster, iterations, seed)
+    _add_python_overhead(cluster,
+                         callback_nnz=float(graph.num_edges) * iterations,
+                         kernel_calls=iterations)
+    result.metrics = cluster.metrics()
+    return _relabel(result)

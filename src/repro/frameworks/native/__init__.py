@@ -10,9 +10,13 @@ from .compression import (
     encode_id_set,
     encoded_size,
 )
+from .kcore import kcore
+from .labelprop import label_propagation
 from .options import FIGURE7_LADDER, NativeOptions
 from .pagerank import DEFAULT_DAMPING, pagerank
+from .sssp import sssp
 from .triangle import triangle_count
+from .wcc import wcc
 
 __all__ = [
     "DEFAULT_DAMPING",
@@ -28,6 +32,10 @@ __all__ = [
     "encode_id_set",
     "encoded_size",
     "iterations_to_rmse",
+    "kcore",
+    "label_propagation",
     "pagerank",
+    "sssp",
     "triangle_count",
+    "wcc",
 ]

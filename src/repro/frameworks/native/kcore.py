@@ -1,0 +1,117 @@
+"""Hand-optimized native k-core decomposition: bulk ascending-k peel.
+
+Each k level runs the delete-cascade to fixpoint locally and charges
+the cluster *one* superstep for the whole level — the native code
+batches the cascade waves the way its BFS batches a level's discoveries
+(local reductions before any exchange), so the network only sees each
+level's aggregate degree-decrement traffic. Peeled vertex ids crossing
+a partition boundary are compressed like every other native id stream.
+Run on symmetrized graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cluster import Cluster, ComputeWork
+from ...graph import CSRGraph, partition_edges_1d
+from ...kernels import registry as kernel_registry
+from ..results import AlgorithmResult
+from .options import NativeOptions
+
+
+def kcore(graph: CSRGraph, cluster: Cluster,
+          options: NativeOptions = None) -> AlgorithmResult:
+    """Per-vertex core numbers (int64) by ascending-k peeling."""
+    options = options or NativeOptions()
+    num_vertices = graph.num_vertices
+
+    part = partition_edges_1d(graph, cluster.num_nodes)
+    edges_per_node = np.diff(graph.offsets[part.bounds]).astype(np.float64)
+    verts_per_node = part.part_sizes().astype(np.float64)
+    for node in range(cluster.num_nodes):
+        cluster.allocate(node, "graph",
+                         8 * edges_per_node[node]
+                         + 8 * (verts_per_node[node] + 1))
+        cluster.allocate(node, "degrees", 8 * verts_per_node[node])
+        cluster.allocate(node, "core", 8 * verts_per_node[node])
+
+    peel = kernel_registry.kernel("k_core", "peel")().prepare(graph)
+    degrees = graph.out_degrees().astype(np.int64)
+    core = np.zeros(num_vertices, dtype=np.int64)
+    alive = np.ones(num_vertices, dtype=bool)
+
+    levels = 0
+    waves_total = 0
+    raw_traffic_total = 0.0
+    wire_traffic_total = 0.0
+    k = 1
+    while alive.any():
+        levels += 1
+        level_span = cluster.trace_span("level", k=k,
+                                        alive=int(alive.sum()))
+        streamed = np.zeros(cluster.num_nodes)
+        random = np.zeros(cluster.num_nodes)
+        ops = np.zeros(cluster.num_nodes)
+        traffic = np.zeros((cluster.num_nodes, cluster.num_nodes))
+        # Run the cascade to fixpoint, accumulating per-node charges.
+        while True:
+            (removed, new_degrees), work = peel.step(degrees, alive, k)
+            if removed.size == 0:
+                break
+            waves_total += 1
+            core[removed] = k - 1
+            alive[removed] = False
+            removed_owner = part.owner_of_many(removed)
+            removed_edges = np.bincount(
+                removed_owner, weights=graph.out_degrees()[removed],
+                minlength=cluster.num_nodes).astype(np.float64)
+            removed_counts = np.bincount(
+                removed_owner, minlength=cluster.num_nodes).astype(np.float64)
+            streamed += (8 + 12) * removed_edges + 8 * removed_counts
+            random += 8.0 * removed_edges
+            ops += 2.0 * removed_edges
+
+            # Cross-partition degree decrements: one id per remote edge.
+            neighbors, lengths = graph.neighbors_of_many(removed)
+            if neighbors.size:
+                src_owner = np.repeat(removed_owner, lengths)
+                dst_owner = part.owner_of_many(neighbors)
+                remote = src_owner != dst_owner
+                pair = (src_owner[remote] * cluster.num_nodes
+                        + dst_owner[remote])
+                counts = np.bincount(pair,
+                                     minlength=cluster.num_nodes ** 2)
+                raw = 8.0 * counts.reshape(cluster.num_nodes, -1)
+                raw_traffic_total += raw.sum()
+                wire = raw * (0.35 if options.compression else 1.0)
+                traffic += wire
+                wire_traffic_total += wire.sum()
+            degrees = new_degrees
+
+        works = [ComputeWork(
+            # Every level also rescans the live degree array once to
+            # find the sub-threshold seeds.
+            streamed_bytes=streamed[node] + 8 * verts_per_node[node],
+            random_bytes=random[node],
+            ops=ops[node] + verts_per_node[node],
+            prefetch=options.prefetch,
+        ) for node in range(cluster.num_nodes)]
+        for node in range(cluster.num_nodes):
+            cluster.allocate(node, "recv-buffers", traffic[:, node].sum())
+        with level_span:
+            cluster.superstep(works, traffic, overlap=options.overlap)
+            cluster.mark_iteration()
+        k += 1
+
+    metrics = cluster.metrics()
+    return AlgorithmResult(
+        algorithm="k_core", framework="native", values=core,
+        iterations=levels, metrics=metrics,
+        extras={
+            "max_core": int(core.max()) if core.size else 0,
+            "cascade_waves": waves_total,
+            "compression_ratio": (raw_traffic_total / wire_traffic_total
+                                  if wire_traffic_total > 0 else 1.0),
+        },
+    )

@@ -1,0 +1,91 @@
+"""Hand-optimized native label propagation (synchronous CDLP rounds).
+
+Dense-iteration shape, mirroring native PageRank: every round each
+node streams its in-edge share, gathers remote neighbor labels through
+the software-prefetch path, and tallies per-vertex label frequencies.
+The boundary-label exchange is iteration-invariant, so the traffic
+matrix is computed once from the same exchange plan PageRank uses, with
+the same id-stream compression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cluster import Cluster, ComputeWork
+from ...cluster.cost import CACHE_LINE_BYTES
+from ...graph import CSRGraph, partition_edges_1d
+from ...kernels import registry as kernel_registry
+from ..results import AlgorithmResult
+from .options import NativeOptions
+from .pagerank import _exchange_plan, _message_bytes
+
+
+def label_propagation(graph: CSRGraph, cluster: Cluster, iterations: int = 3,
+                      seed: int = 0,
+                      options: NativeOptions = None) -> AlgorithmResult:
+    """Seeded synchronous label propagation; int64 labels per vertex."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    options = options or NativeOptions()
+    from ...algorithms.labelprop import initial_labels
+
+    in_csr = graph.reverse()
+    part = partition_edges_1d(in_csr, cluster.num_nodes)
+    plan = _exchange_plan(in_csr, part)
+    edges_per_node = np.diff(in_csr.offsets[part.bounds]).astype(np.float64)
+    verts_per_node = part.part_sizes().astype(np.float64)
+
+    traffic = np.zeros((cluster.num_nodes, cluster.num_nodes))
+    recv_entries = np.zeros(cluster.num_nodes)
+    for (owner, consumer), ids in plan.items():
+        traffic[owner, consumer] = _message_bytes(ids, part, owner, options)
+        recv_entries[consumer] += ids.size
+
+    for node in range(cluster.num_nodes):
+        cluster.allocate(node, "graph",
+                         8 * edges_per_node[node]
+                         + 8 * (verts_per_node[node] + 1))
+        cluster.allocate(node, "labels", 8 * 2 * verts_per_node[node])
+        cluster.allocate(node, "tallies", 16 * verts_per_node[node])
+        cluster.allocate(node, "recv-buffers", 8 * recv_entries[node])
+
+    gather_bytes = CACHE_LINE_BYTES * edges_per_node
+    works = []
+    for node in range(cluster.num_nodes):
+        message_bytes = traffic[node, :].sum() + traffic[:, node].sum()
+        if options.prefetch:
+            streamed_gather = gather_bytes[node]
+            random_gather = 0.05 * gather_bytes[node]
+        else:
+            streamed_gather = 0.0
+            random_gather = gather_bytes[node]
+        works.append(ComputeWork(
+            streamed_bytes=(8 * edges_per_node[node]
+                            + streamed_gather
+                            + 16 * verts_per_node[node]
+                            + 2 * message_bytes),
+            # The per-edge tally insert is a hash probe on top of the
+            # label gather.
+            random_bytes=random_gather + 16 * edges_per_node[node],
+            ops=6 * edges_per_node[node] + 4 * verts_per_node[node],
+            prefetch=options.prefetch,
+        ))
+
+    sync = kernel_registry.kernel("label_propagation", "sync")().prepare(graph)
+    labels = initial_labels(graph.num_vertices, seed)
+    for iteration in range(int(iterations)):
+        with cluster.trace_span("iteration", index=iteration):
+            labels, _ = sync.step(labels)
+            cluster.superstep(works, traffic, overlap=options.overlap)
+            cluster.mark_iteration()
+
+    metrics = cluster.metrics()
+    return AlgorithmResult(
+        algorithm="label_propagation", framework="native", values=labels,
+        iterations=int(iterations), metrics=metrics,
+        extras={
+            "communities": int(np.unique(labels).size),
+            "traffic_bytes_per_iteration": float(traffic.sum()),
+        },
+    )

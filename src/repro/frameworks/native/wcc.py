@@ -1,0 +1,112 @@
+"""Hand-optimized native WCC: frontier-delta min-label propagation.
+
+Shiloach-Vishkin-style label propagation specialized the way the
+paper's native BFS is: level-synchronous supersteps over an
+edge-balanced 1-D partition, where each round only the vertices whose
+label just shrank push it to their neighbors. Remotely-improved
+``(id, label)`` pairs are routed to their owners with the same adaptive
+id-stream compression as BFS, and the irregular label probes ride the
+software-prefetch path. Run on symmetrized graphs; labels converge to
+the minimum vertex id of each component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cluster import Cluster, ComputeWork
+from ...graph import CSRGraph, partition_edges_1d
+from ...kernels import registry as kernel_registry
+from ..results import AlgorithmResult
+from .compression import encoded_size
+from .options import NativeOptions
+
+_VALUE_BYTES = 8.0  # the pushed label
+
+
+def wcc(graph: CSRGraph, cluster: Cluster,
+        options: NativeOptions = None) -> AlgorithmResult:
+    """Weakly connected components; int64 min-id labels per vertex."""
+    options = options or NativeOptions()
+    num_vertices = graph.num_vertices
+
+    part = partition_edges_1d(graph, cluster.num_nodes)
+    edges_per_node = np.diff(graph.offsets[part.bounds]).astype(np.float64)
+    verts_per_node = part.part_sizes().astype(np.float64)
+    for node in range(cluster.num_nodes):
+        cluster.allocate(node, "graph",
+                         8 * edges_per_node[node]
+                         + 8 * (verts_per_node[node] + 1))
+        cluster.allocate(node, "labels", 8 * verts_per_node[node])
+
+    push = kernel_registry.kernel("wcc", "propagate")().prepare(graph)
+    labels = np.arange(num_vertices, dtype=np.int64)
+    frontier = np.arange(num_vertices, dtype=np.int64)
+
+    rounds = 0
+    raw_traffic_total = 0.0
+    wire_traffic_total = 0.0
+    while frontier.size:
+        rounds += 1
+        round_span = cluster.trace_span("round", index=rounds,
+                                        frontier=int(frontier.size))
+        frontier_owner = part.owner_of_many(frontier)
+        traffic = np.zeros((cluster.num_nodes, cluster.num_nodes))
+        works = []
+        merged = None
+        for node in range(cluster.num_nodes):
+            mine = frontier[frontier_owner == node]
+            (pushed, improved), work = push.step(labels, mine)
+            merged = pushed if merged is None else np.minimum(merged, pushed)
+
+            # Route remotely-improved (id, label) pairs to their owners.
+            improved_owner = part.owner_of_many(improved)
+            for owner in np.unique(improved_owner):
+                owner = int(owner)
+                if owner == node:
+                    continue
+                ids = improved[improved_owner == owner]
+                raw = (8.0 + _VALUE_BYTES) * ids.size
+                raw_traffic_total += raw
+                if options.compression:
+                    lo, hi = part.part_range(owner)
+                    nbytes = (float(encoded_size(ids - lo, hi - lo))
+                              + _VALUE_BYTES * ids.size)
+                else:
+                    nbytes = raw
+                traffic[node, owner] += nbytes
+                wire_traffic_total += nbytes
+
+            works.append(ComputeWork(
+                streamed_bytes=(8 + 12) * work.edges + 8 * mine.size,
+                # Like native BFS: label scatters are sorted into
+                # near-streaming runs, so only ~1 B/edge stays irregular.
+                random_bytes=1.0 * work.edges + 8.0 * improved.size,
+                ops=4 * work.edges,
+                prefetch=options.prefetch,
+            ))
+        for node in range(cluster.num_nodes):
+            incoming = traffic[:, node].sum()
+            if options.overlap:
+                incoming = min(incoming, 16 * 2**20 / cluster.scale_factor)
+            cluster.allocate(node, "recv-buffers", incoming)
+
+        with round_span:
+            cluster.superstep(works, traffic, overlap=options.overlap)
+            cluster.mark_iteration()
+
+        changed = np.flatnonzero(merged < labels)
+        labels = merged
+        frontier = changed
+        cluster.tracer.count("frontier_size", int(changed.size))
+
+    metrics = cluster.metrics()
+    return AlgorithmResult(
+        algorithm="wcc", framework="native", values=labels,
+        iterations=rounds, metrics=metrics,
+        extras={
+            "components": int(np.unique(labels).size),
+            "compression_ratio": (raw_traffic_total / wire_traffic_total
+                                  if wire_traffic_total > 0 else 1.0),
+        },
+    )

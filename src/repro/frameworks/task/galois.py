@@ -210,3 +210,167 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
         extras={"rmse_curve": native_result.extras["rmse_curve"],
                 "method": "sgd", "hidden_dim": hidden_dim},
     )
+
+
+def wcc(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    """Label-propagation WCC over bulk-synchronous worklists.
+
+    Every vertex starts on the worklist with its own id; a round pushes
+    the current label across each frontier vertex's out-edges and
+    re-enqueues vertices whose label dropped.
+    """
+    _require_single_node(cluster)
+    num_vertices = graph.num_vertices
+    cluster.allocate(0, "graph",
+                     8.0 * graph.num_edges + 8.0 * (num_vertices + 1))
+    cluster.allocate(0, "labels+worklists", 16.0 * num_vertices)
+
+    push = kernel_registry.kernel("wcc", "propagate")().prepare(graph)
+    labels = np.arange(num_vertices, dtype=np.int64)
+    frontier = np.arange(num_vertices, dtype=np.int64)
+    rounds = 0
+    while frontier.size:
+        rounds += 1
+        with cluster.trace_span("round", index=rounds,
+                                frontier=int(frontier.size)):
+            (labels, changed), work = push.step(labels, frontier)
+            cluster.superstep(
+                _work(streamed=(8.0 + 12.0) * work.edges
+                      + 8.0 * frontier.size,
+                      random=1.0 * work.edges + 8.0 * changed.size,
+                      ops=4.0 * work.edges),
+                overhead_s=_PROFILE.superstep_overhead_s,
+            )
+            cluster.mark_iteration()
+        frontier = changed
+
+    return AlgorithmResult(
+        algorithm="wcc", framework="galois", values=labels,
+        iterations=rounds, metrics=cluster.metrics(),
+        extras={"components": int(np.unique(labels).size)},
+    )
+
+
+def sssp(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
+    """Bellman-Ford rounds over the improved-distance worklist."""
+    _require_single_node(cluster)
+    if not 0 <= source < graph.num_vertices:
+        raise ValueError(f"source {source} out of range")
+    num_vertices = graph.num_vertices
+    cluster.allocate(0, "graph",
+                     16.0 * graph.num_edges + 8.0 * (num_vertices + 1))
+    cluster.allocate(0, "distances+worklists", 16.0 * num_vertices)
+
+    relax = kernel_registry.kernel("sssp", "relax")().prepare(graph)
+    distances = np.full(num_vertices, np.inf, dtype=np.float64)
+    distances[source] = 0.0
+    frontier = np.array([source], dtype=np.int64)
+    tracer = cluster.tracer
+    tracer.count("frontier_size", 1)
+    rounds = 0
+    while frontier.size:
+        rounds += 1
+        with cluster.trace_span("round", index=rounds,
+                                frontier=int(frontier.size)):
+            (distances, changed), work = relax.step(distances, frontier)
+            cluster.superstep(
+                _work(streamed=(8.0 + 12.0 + 8.0) * work.edges
+                      + 8.0 * frontier.size,
+                      random=1.0 * work.edges + 8.0 * changed.size,
+                      ops=5.0 * work.edges),
+                overhead_s=_PROFILE.superstep_overhead_s,
+            )
+            cluster.mark_iteration()
+        frontier = changed
+        if changed.size:
+            tracer.count("frontier_size", int(changed.size))
+
+    return AlgorithmResult(
+        algorithm="sssp", framework="galois", values=distances,
+        iterations=rounds, metrics=cluster.metrics(),
+        extras={"reached": int(np.isfinite(distances).sum())},
+    )
+
+
+def k_core(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    """Ascending-k cascade peel; one worklist round per cascade wave."""
+    _require_single_node(cluster)
+    num_vertices = graph.num_vertices
+    cluster.allocate(0, "graph",
+                     8.0 * graph.num_edges + 8.0 * (num_vertices + 1))
+    cluster.allocate(0, "degrees+core", 16.0 * num_vertices)
+
+    peel = kernel_registry.kernel("k_core", "peel")().prepare(graph)
+    degrees = graph.out_degrees().astype(np.int64)
+    core = np.zeros(num_vertices, dtype=np.int64)
+    alive = np.ones(num_vertices, dtype=bool)
+    levels = 0
+    waves = 0
+    k = 1
+    while alive.any():
+        levels += 1
+        with cluster.trace_span("level", k=k, alive=int(alive.sum())):
+            while True:
+                (removed, degrees), work = peel.step(degrees, alive, k)
+                if removed.size == 0:
+                    break
+                waves += 1
+                core[removed] = k - 1
+                alive[removed] = False
+                cluster.superstep(
+                    _work(streamed=(8.0 + 12.0) * work.edges
+                          + 8.0 * removed.size,
+                          random=8.0 * work.edges,
+                          ops=2.0 * work.edges + float(num_vertices)),
+                    overhead_s=_PROFILE.superstep_overhead_s,
+                )
+            # Per-level rescan of the live degrees for sub-threshold seeds.
+            cluster.superstep(
+                _work(streamed=8.0 * num_vertices, random=0.0,
+                      ops=float(num_vertices)),
+                overhead_s=_PROFILE.superstep_overhead_s,
+            )
+            cluster.mark_iteration()
+        k += 1
+
+    return AlgorithmResult(
+        algorithm="k_core", framework="galois", values=core,
+        iterations=levels, metrics=cluster.metrics(),
+        extras={"max_core": int(core.max()) if core.size else 0,
+                "cascade_waves": waves},
+    )
+
+
+def label_propagation(graph: CSRGraph, cluster: Cluster, iterations: int = 3,
+                      seed: int = 0) -> AlgorithmResult:
+    """Synchronous CDLP rounds, one tallying work item per vertex."""
+    _require_single_node(cluster)
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    from ...algorithms.labelprop import initial_labels
+
+    num_vertices = graph.num_vertices
+    num_edges = graph.num_edges
+    cluster.allocate(0, "graph",
+                     8.0 * num_edges + 8.0 * (num_vertices + 1))
+    cluster.allocate(0, "labels+tallies", 32.0 * num_vertices)
+
+    sync = kernel_registry.kernel("label_propagation", "sync")().prepare(graph)
+    labels = initial_labels(num_vertices, seed)
+    for iteration in range(int(iterations)):
+        with cluster.trace_span("iteration", index=iteration):
+            labels, _ = sync.step(labels)
+            cluster.superstep(
+                _work(streamed=(8.0 + 64.0) * num_edges
+                      + 16.0 * num_vertices,
+                      random=0.05 * 64.0 * num_edges + 16.0 * num_edges,
+                      ops=6.0 * num_edges + 4.0 * num_vertices),
+                overhead_s=_PROFILE.superstep_overhead_s,
+            )
+            cluster.mark_iteration()
+
+    return AlgorithmResult(
+        algorithm="label_propagation", framework="galois", values=labels,
+        iterations=int(iterations), metrics=cluster.metrics(),
+        extras={"communities": int(np.unique(labels).size)},
+    )

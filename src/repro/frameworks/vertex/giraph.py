@@ -18,7 +18,16 @@ from ...cluster import Cluster
 from ...graph import CSRGraph, RatingsMatrix
 from ..base import GIRAPH
 from ..results import AlgorithmResult
-from .programs import bfs_vertex, cf_gd_vertex, pagerank_vertex, triangle_vertex
+from .programs import (
+    bfs_vertex,
+    cf_gd_vertex,
+    kcore_vertex,
+    lp_vertex,
+    pagerank_vertex,
+    sssp_vertex,
+    triangle_vertex,
+    wcc_vertex,
+)
 
 #: "breaking up each superstep into 100 smaller supersteps" (Section 6.1.3).
 TRIANGLE_SPLITS = 100
@@ -54,3 +63,22 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
                         partition_mode="1d",
                         superstep_splits=superstep_splits,
                         combine_messages=True, **kwargs)
+
+
+def wcc(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return wcc_vertex(graph, cluster, GIRAPH, partition_mode="1d")
+
+
+def sssp(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
+    return sssp_vertex(graph, cluster, GIRAPH, source,
+                       partition_mode="1d")
+
+
+def k_core(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return kcore_vertex(graph, cluster, GIRAPH, partition_mode="1d")
+
+
+def label_propagation(graph: CSRGraph, cluster: Cluster, iterations: int = 3,
+                      seed: int = 0) -> AlgorithmResult:
+    return lp_vertex(graph, cluster, GIRAPH, iterations, seed,
+                     partition_mode="1d")

@@ -24,7 +24,16 @@ from ...cluster.network import CommLayer
 from ...graph import CSRGraph, RatingsMatrix
 from ..base import GIRAPH, FrameworkProfile
 from ..results import AlgorithmResult
-from .programs import bfs_vertex, cf_gd_vertex, pagerank_vertex, triangle_vertex
+from .programs import (
+    bfs_vertex,
+    cf_gd_vertex,
+    kcore_vertex,
+    lp_vertex,
+    pagerank_vertex,
+    sssp_vertex,
+    triangle_vertex,
+    wcc_vertex,
+)
 
 #: GPS's custom sockets-over-Java stack: better than Hadoop/Netty but
 #: below the C sockets of GraphLab.
@@ -77,3 +86,22 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
     return cf_gd_vertex(ratings, cluster, GPS, hidden_dim, iterations,
                         partition_mode="vertex-cut", superstep_splits=4,
                         **kwargs)
+
+
+def wcc(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return wcc_vertex(graph, cluster, GPS, partition_mode="vertex-cut")
+
+
+def sssp(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
+    return sssp_vertex(graph, cluster, GPS, source,
+                       partition_mode="vertex-cut")
+
+
+def k_core(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return kcore_vertex(graph, cluster, GPS, partition_mode="vertex-cut")
+
+
+def label_propagation(graph: CSRGraph, cluster: Cluster, iterations: int = 3,
+                      seed: int = 0) -> AlgorithmResult:
+    return lp_vertex(graph, cluster, GPS, iterations, seed,
+                     partition_mode="vertex-cut")

@@ -16,7 +16,16 @@ from ...cluster import Cluster
 from ...graph import CSRGraph, RatingsMatrix
 from ..base import GRAPHLAB
 from ..results import AlgorithmResult
-from .programs import bfs_vertex, cf_gd_vertex, pagerank_vertex, triangle_vertex
+from .programs import (
+    bfs_vertex,
+    cf_gd_vertex,
+    kcore_vertex,
+    lp_vertex,
+    pagerank_vertex,
+    sssp_vertex,
+    triangle_vertex,
+    wcc_vertex,
+)
 
 
 def pagerank(graph: CSRGraph, cluster: Cluster, iterations: int = 10,
@@ -40,3 +49,22 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
                             **kwargs) -> AlgorithmResult:
     return cf_gd_vertex(ratings, cluster, GRAPHLAB, hidden_dim, iterations,
                         partition_mode="vertex-cut", **kwargs)
+
+
+def wcc(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return wcc_vertex(graph, cluster, GRAPHLAB, partition_mode="vertex-cut")
+
+
+def sssp(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
+    return sssp_vertex(graph, cluster, GRAPHLAB, source,
+                       partition_mode="vertex-cut")
+
+
+def k_core(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return kcore_vertex(graph, cluster, GRAPHLAB, partition_mode="vertex-cut")
+
+
+def label_propagation(graph: CSRGraph, cluster: Cluster, iterations: int = 3,
+                      seed: int = 0) -> AlgorithmResult:
+    return lp_vertex(graph, cluster, GRAPHLAB, iterations, seed,
+                     partition_mode="vertex-cut")

@@ -20,7 +20,16 @@ from ...cluster.network import CommLayer
 from ...graph import CSRGraph, RatingsMatrix
 from ..base import GRAPHLAB, FrameworkProfile
 from ..results import AlgorithmResult
-from .programs import bfs_vertex, cf_gd_vertex, pagerank_vertex, triangle_vertex
+from .programs import (
+    bfs_vertex,
+    cf_gd_vertex,
+    kcore_vertex,
+    lp_vertex,
+    pagerank_vertex,
+    sssp_vertex,
+    triangle_vertex,
+    wcc_vertex,
+)
 
 #: Spark block-transfer service: netty-based shuffle, better tuned than
 #: Hadoop RPC but with shuffle-file spill overheads.
@@ -73,3 +82,22 @@ def collaborative_filtering(ratings: RatingsMatrix, cluster: Cluster,
     return cf_gd_vertex(ratings, cluster, GRAPHX, hidden_dim, iterations,
                         partition_mode="1d", superstep_splits=4,
                         combine_messages=True, **kwargs)
+
+
+def wcc(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return wcc_vertex(graph, cluster, GRAPHX, partition_mode="1d")
+
+
+def sssp(graph: CSRGraph, cluster: Cluster, source: int = 0) -> AlgorithmResult:
+    return sssp_vertex(graph, cluster, GRAPHX, source,
+                       partition_mode="1d")
+
+
+def k_core(graph: CSRGraph, cluster: Cluster) -> AlgorithmResult:
+    return kcore_vertex(graph, cluster, GRAPHX, partition_mode="1d")
+
+
+def label_propagation(graph: CSRGraph, cluster: Cluster, iterations: int = 3,
+                      seed: int = 0) -> AlgorithmResult:
+    return lp_vertex(graph, cluster, GRAPHX, iterations, seed,
+                     partition_mode="1d")

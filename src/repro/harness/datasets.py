@@ -27,7 +27,18 @@ PAPER_EDGES_PER_NODE = {
     "bfs": 128e6,
     "collaborative_filtering": 256e6,
     "triangle_counting": 32e6,
+    # Second-generation workloads: the propagation-style ones carry the
+    # BFS budget; k-core's repeated cascade scans halve it.
+    "wcc": 128e6,
+    "sssp": 128e6,
+    "k_core": 64e6,
+    "label_propagation": 128e6,
 }
+
+#: Algorithms that run on symmetrized (undirected) proxies. They share
+#: BFS's dataset variant: propagation fixpoints, peeling, and community
+#: rounds are all defined on undirected graphs in the study.
+UNDIRECTED_ALGORITHMS = ("bfs", "wcc", "sssp", "k_core", "label_propagation")
 
 #: CF hidden dimension used throughout the harness. The paper's is ~1000
 #: (8 KB messages); we use 32 to keep proxy runs fast — slowdown *ratios*
@@ -41,7 +52,7 @@ HARNESS_ITERATIONS = 3
 @functools.lru_cache(maxsize=64)
 def single_node_graph(name: str, algorithm: str):
     """Proxy graph for the Figure 3 single-node panels."""
-    if algorithm == "bfs":
+    if algorithm in UNDIRECTED_ALGORITHMS:
         return bfs_variant(name)
     if algorithm == "triangle_counting":
         return triangle_variant(name)
@@ -71,6 +82,10 @@ PROXY_EDGES_PER_NODE = {
     "bfs": 16384,
     "collaborative_filtering": 24576,
     "triangle_counting": 6144,
+    "wcc": 16384,
+    "sssp": 16384,
+    "k_core": 8192,
+    "label_propagation": 16384,
 }
 
 

@@ -58,8 +58,10 @@ def default_params(algorithm: str, dataset=None) -> dict:
         return {"iterations": HARNESS_ITERATIONS}
     if algorithm == "collaborative_filtering":
         return {"iterations": 2, "hidden_dim": HARNESS_HIDDEN_DIM}
-    if algorithm == "bfs" and dataset is not None:
+    if algorithm in ("bfs", "sssp") and dataset is not None:
         return {"source": int(np.argmax(dataset.out_degrees()))}
+    if algorithm == "label_propagation":
+        return {"iterations": HARNESS_ITERATIONS}
     return {}
 
 

@@ -35,6 +35,11 @@ SINGLE_NODE_DATASETS = {
     "triangle_counting": ("livejournal", "facebook", "wikipedia",
                           "synthetic"),
     "collaborative_filtering": ("netflix", "synthetic"),
+    "wcc": ("livejournal", "facebook", "wikipedia", "synthetic"),
+    "sssp": ("livejournal", "facebook", "wikipedia", "synthetic"),
+    "k_core": ("livejournal", "facebook", "wikipedia", "synthetic"),
+    "label_propagation": ("livejournal", "facebook", "wikipedia",
+                          "synthetic"),
 }
 
 #: Assumed paper-scale sizes of the single-node synthetic runs (the paper

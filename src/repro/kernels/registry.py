@@ -9,6 +9,7 @@ kernel implementation never touches engine code.
 from __future__ import annotations
 
 from ..errors import KernelError
+from .propagation import KCorePeel, LPSync, SSSPRelax, WCCPropagate
 from .sgd import CFBlockedGD, CFBlockedSGD
 from .spmv import BFSPush, PageRankPull
 from .triangles import TriangleMaskedCount
@@ -19,6 +20,10 @@ KERNELS = {
     ("triangle_counting", "masked-spgemm"): TriangleMaskedCount,
     ("collaborative_filtering", "blocked-gd"): CFBlockedGD,
     ("collaborative_filtering", "blocked-sgd"): CFBlockedSGD,
+    ("wcc", "propagate"): WCCPropagate,
+    ("sssp", "relax"): SSSPRelax,
+    ("k_core", "peel"): KCorePeel,
+    ("label_propagation", "sync"): LPSync,
 }
 
 

@@ -35,11 +35,12 @@ def run_cell(algorithm, framework, nodes, **kwargs):
 class TestRoofline:
     def test_native_within_paper_band(self):
         # The acceptance criterion: achieved/bound lands in the paper's
-        # "within 2-2.5x of the hardware limit" band for all four
-        # workloads at 1 and 4 nodes.
+        # "within 2-2.5x of the hardware limit" band for every workload
+        # at 1 and 4 nodes.
+        from repro.algorithms.registry import ALGORITHMS
+
         table = roofline_table("native")
-        assert set(table) == {"pagerank", "bfs", "triangle_counting",
-                              "collaborative_filtering"}
+        assert set(table) == set(ALGORITHMS)
         for algorithm, per_nodes in table.items():
             for nodes, cell in per_nodes.items():
                 assert cell["status"] == "ok", (algorithm, nodes)

@@ -22,9 +22,12 @@ def graph():
 
 class TestValidation:
     def test_unknown_algorithm(self):
-        with pytest.raises(SpecError, match="unknown algorithm"):
-            ExperimentSpec(algorithm="sssp", framework="native",
+        # "ssps" is the classic typo for a now-valid algorithm: the
+        # error must name the real one so the fix is obvious.
+        with pytest.raises(SpecError, match="unknown algorithm") as info:
+            ExperimentSpec(algorithm="ssps", framework="native",
                            dataset="rmat_mini")
+        assert "sssp" in str(info.value)
 
     def test_unknown_framework(self):
         with pytest.raises(SpecError, match="unknown framework"):
