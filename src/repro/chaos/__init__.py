@@ -7,8 +7,21 @@ latency spikes, partitions and probabilistic message loss; per-framework
 (Giraph-style checkpoint/replay vs native fail-fast). The simulated
 cluster consults both every superstep — same workload, fault schedule
 on or off, recovery overhead read straight off the trace.
+
+:mod:`repro.chaos.real` is the second, non-simulated axis: a
+:class:`RealFaultPlan` makes chosen sweep cells actually kill, hang or
+memory-balloon their **worker process**, so the supervised pool
+(:mod:`repro.harness.supervisor`) can be proven to survive the faults
+the simulator cannot raise.
 """
 
+from .real import (
+    BalloonMemory,
+    HangCell,
+    KillWorker,
+    RealFaultPlan,
+    resolve_real_chaos,
+)
 from .faults import (
     FaultSchedule,
     LatencySpike,
@@ -30,8 +43,12 @@ from .recovery import (
 )
 
 __all__ = [
+    "BalloonMemory",
     "FAIL_FAST",
     "FaultSchedule",
+    "HangCell",
+    "KillWorker",
+    "RealFaultPlan",
     "LatencySpike",
     "LinkDisruption",
     "MessageCorruption",
@@ -45,4 +62,5 @@ __all__ = [
     "StragglerNode",
     "checkpointing",
     "policy_for_profile",
+    "resolve_real_chaos",
 ]

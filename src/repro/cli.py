@@ -8,8 +8,9 @@ Commands:
   and report what surviving the faults cost;
 * ``sweep`` — a durable, resumable multi-cell sweep (table5/table6/
   figure3/figure4/figure5) with per-cell deadlines, retry + quarantine
-  and a JSONL journal; ``--jobs N`` fans the cells over a process pool
-  with a byte-identical journal;
+  and a JSONL journal; ``--jobs N`` fans the cells over a *supervised*
+  worker pool (crash/hang/OOM containment, ``--wall-deadline``,
+  ``--real-chaos`` fault injection) with a byte-identical journal;
 * ``cache`` — inspect or clear the content-addressed dataset cache;
 * ``table N`` / ``figure N`` — regenerate one paper artifact;
 * ``perf`` — roofline bounds + gap attribution (``analyze``), ranked
@@ -38,6 +39,7 @@ EXIT_UNSUPPORTED = 4
 EXIT_NODE_FAILURE = 5
 EXIT_DEADLINE = 6
 EXIT_PERF_REGRESSION = 7
+EXIT_INTERRUPTED = 8
 
 EXIT_CODES_HELP = """\
 exit codes:
@@ -49,6 +51,7 @@ exit codes:
   5  node failure the framework could not recover
   6  simulated deadline exceeded (timeout)
   7  perf gate failed: cells regressed beyond the baseline tolerance
+  8  sweep drained on SIGINT/SIGTERM: journal flushed, finish via --resume
 """
 
 #: RunResult.status -> exit code (``run``/``trace`` commands).
@@ -68,8 +71,11 @@ def _exit_code_for(error) -> int:
         DeadlineExceeded,
         NodeFailure,
         PerfRegression,
+        SweepInterrupted,
     )
 
+    if isinstance(error, SweepInterrupted):
+        return EXIT_INTERRUPTED
     if isinstance(error, CapacityError):
         return EXIT_OOM
     if isinstance(error, DeadlineExceeded):
@@ -288,7 +294,11 @@ def _cmd_sweep(args) -> int:
     tracer = Tracer()
     engine = Sweep(args.target, journal=args.journal, resume=args.resume,
                    deadline_s=args.deadline, max_retries=args.max_retries,
-                   jobs=args.jobs, tracer=tracer)
+                   jobs=args.jobs, tracer=tracer,
+                   wall_deadline_s=args.wall_deadline,
+                   max_crashes=args.max_crashes,
+                   memory_limit_mb=args.memory_limit_mb,
+                   real_chaos=args.real_chaos)
     data = producer(sweep=engine, **kwargs)
     completeness = engine.last.completeness()
     if args.json:
@@ -631,8 +641,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "sweep engine: every cell is isolated, journaled, "
                     "retried with backoff on unexpected errors and "
                     "quarantined when it keeps failing; DNF cells "
-                    "(out-of-memory / unsupported / timeout / failed) "
-                    "are results, so a completed sweep exits 0.",
+                    "(out-of-memory / unsupported / timeout / failed / "
+                    "crashed) are results, so a completed sweep exits 0. "
+                    "--jobs runs cells in supervised worker processes "
+                    "that survive real crashes, hangs and memory "
+                    "blow-ups; SIGINT/SIGTERM drains to the journal "
+                    "(exit 8) and --resume finishes the rest.",
         epilog=EXIT_CODES_HELP,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
@@ -657,6 +671,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "--jobs (or 0) means all cores, default 1 "
                             "runs serially. The journal is byte-identical "
                             "for every worker count")
+    sweep.add_argument("--wall-deadline", type=float, default=None,
+                       help="per-cell budget in REAL seconds; the "
+                            "supervisor kills a worker that exceeds it "
+                            "and records 'timeout' with wall_clock=true")
+    sweep.add_argument("--max-crashes", type=int, default=2,
+                       help="worker deaths one cell may cause before it "
+                            "is quarantined as 'crashed' (default: 2)")
+    sweep.add_argument("--memory-limit-mb", type=float, default=None,
+                       help="per-worker address-space headroom in MB "
+                            "(RLIMIT_AS); real allocation blow-ups "
+                            "surface as 'out-of-memory' cells")
+    sweep.add_argument("--real-chaos", default=None, metavar="SPEC",
+                       help="inject real process faults, e.g. "
+                            "'kill(cell=3); hang(cell=5, seconds=300); "
+                            "oom(cell=2, mb=512)' (also via "
+                            "$REPRO_CHAOS_REAL)")
     sweep.add_argument("--frameworks",
                        help="comma-separated framework subset")
     sweep.add_argument("--algorithms",
@@ -814,12 +844,17 @@ def main(argv=None) -> int:
         DeadlineExceeded,
         NodeFailure,
         ReproError,
+        SweepInterrupted,
     )
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SweepInterrupted as failure:
+        # A drained sweep is a *successful save*, not a crash: the
+        # journal holds every merged cell and --resume finishes the rest.
+        return _failure_exit(failure, "interrupted")
     except NodeFailure as failure:
         # A --faults crash on a fail-fast framework: a typed outcome of
         # the experiment, not a bug — report it like one.

@@ -95,6 +95,32 @@ class NodeFailure(ReproError):
         )
 
 
+class SweepInterrupted(ReproError):
+    """A sweep drained after SIGINT/SIGTERM instead of finishing.
+
+    Raised by the supervised worker pool once the journal is flushed:
+    every merged cell is durable, in-flight cells are back to pending,
+    and re-running with ``--resume`` continues byte-identically. The
+    CLI maps it to its own documented exit code so scripts can tell a
+    clean drain from a failure.
+    """
+
+    def __init__(self, signum, pending):
+        import signal as _signal
+
+        self.signum = int(signum)
+        self.pending = int(pending)
+        try:
+            name = _signal.Signals(self.signum).name
+        except ValueError:
+            name = f"signal {self.signum}"
+        super().__init__(
+            f"sweep drained on {name}: journal flushed, "
+            f"{self.pending} cell(s) still pending; re-run with --resume "
+            "to finish them"
+        )
+
+
 class SimulationError(ReproError):
     """The cluster simulator was used inconsistently."""
 

@@ -15,6 +15,7 @@ from .graph500 import Graph500Result, run_graph500
 from .persistence import compare_artifacts, load_artifact, save_artifact
 from .runner import (
     CELL_STATUSES,
+    STATUS_CRASHED,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_OOM,
@@ -27,6 +28,7 @@ from .runner import (
 )
 from .spec import ExperimentSpec, valid_params
 from .strong_scaling import parallel_efficiency, strong_scaling
+from .supervisor import SupervisorPolicy, SupervisorStats
 from .sweep import (
     CellOutcome,
     CellPolicy,
@@ -46,8 +48,11 @@ __all__ = [
     "ExperimentSpec",
     "execute_cell",
     "Graph500Result",
+    "STATUS_CRASHED",
     "STATUS_FAILED",
     "STATUS_TIMEOUT",
+    "SupervisorPolicy",
+    "SupervisorStats",
     "Sweep",
     "SweepResult",
     "compare_artifacts",

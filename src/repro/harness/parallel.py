@@ -4,7 +4,7 @@ The paper's study is a cross-product of (algorithm x framework x
 dataset x nodes) cells, and its cells are *independent*: GraphLab and
 Galois win benchmarks by keeping every core busy, and the harness that
 measures them should too. This module fans a sweep's pending cells over
-a process pool while keeping every PR-3 durability guarantee intact:
+worker processes while keeping every PR-3 durability guarantee intact:
 
 * **Workers compute, the parent journals.** Each worker runs the exact
   same :func:`~repro.harness.sweep.execute_cell` the serial engine
@@ -12,12 +12,11 @@ a process pool while keeping every PR-3 durability guarantee intact:
   quarantine policy (shipped as a picklable
   :class:`~repro.harness.sweep.CellPolicy`). Completed records stream
   back to the parent, which remains the **sole journal writer**.
-* **Enumeration-order merge.** Results are consumed through an ordered
-  ``imap``: workers finish cells in any order, but the parent merges
-  (and journals) them in enumeration order, so a ``jobs=N`` journal is
-  byte-identical to a serial one and resume/replay cannot tell them
-  apart. A crash loses only cells not yet merged — exactly the serial
-  contract.
+* **Enumeration-order merge.** Workers finish cells in any order, but
+  the parent merges (and journals) them in enumeration order, so a
+  ``jobs=N`` journal is byte-identical to a serial one and
+  resume/replay cannot tell them apart. A crash loses only cells not
+  yet merged — exactly the serial contract.
 * **Determinism by construction.** Cell seeds derive from cell keys,
   never from worker identity or scheduling; the dataset cache
   (:mod:`repro.datagen.cache`) gives every worker the same immutable
@@ -27,6 +26,15 @@ a process pool while keeping every PR-3 durability guarantee intact:
   home; the parent merges them under its open ``sweep`` span with a
   ``worker=`` attribute, so one flight record explains the whole pool.
 
+Since PR-8 the pool itself is *supervised*: the bare
+``multiprocessing.Pool`` (whose ``imap`` stalls forever when a worker
+is SIGKILLed) is replaced by :mod:`repro.harness.supervisor`, which
+detects worker death, restarts and re-dispatches, quarantines poison
+cells as DNF ``crashed``, enforces wall-clock deadlines, and drains
+gracefully on SIGINT/SIGTERM. :func:`run_cells_parallel` is the
+compatibility entry point: same signature and yield contract as the
+old pool executor, now fault-tolerant underneath.
+
 Workers are started with the ``fork`` method where the platform offers
 it (executors need not be picklable); ``spawn`` platforms require a
 picklable executor and get a typed error otherwise.
@@ -34,48 +42,25 @@ picklable executor and get a typed error otherwise.
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass
+from .supervisor import (
+    CompletedCell,
+    SupervisorPolicy,
+    SupervisorStats,
+    _looks_like_pickling_error,
+    _mp_context,
+    run_cells_supervised,
+)
 
-from ..errors import ReproError
-from ..observability import NULL_TRACER, Tracer
-from .sweep import execute_cell
-
-#: Per-worker state installed by the pool initializer: the executor,
-#: the cell policy, whether to trace, and the backoff sleep callable.
-_WORKER_STATE = None
-
-
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn")
-
-
-def _init_worker(execute, policy, traced, sleep) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (execute, policy, traced, sleep)
-
-
-def _run_one(item):
-    """Worker entry: one cell through the shared execution semantics."""
-    index, key, cid = item
-    execute, policy, traced, sleep = _WORKER_STATE
-    tracer = Tracer() if traced else NULL_TRACER
-    record = execute_cell(key, execute, policy, tracer=tracer, sleep=sleep)
-    spans = list(tracer.spans) if traced else []
-    return index, cid, record, spans, multiprocessing.current_process().name
-
-
-@dataclass
-class CompletedCell:
-    """One merged result the parent consumes in enumeration order."""
-
-    index: int
-    cid: str
-    record: object          # CellRecord
-    spans: list             # worker-side Span objects (may be empty)
-    worker: str             # pool worker name, e.g. "ForkPoolWorker-2"
+#: Compatibility re-exports: PR-5 callers import these from here.
+__all__ = [
+    "CompletedCell",
+    "SupervisorPolicy",
+    "SupervisorStats",
+    "_looks_like_pickling_error",
+    "_mp_context",
+    "run_cells_parallel",
+    "run_cells_supervised",
+]
 
 
 def run_cells_parallel(pending, execute, policy, jobs, traced=False,
@@ -83,38 +68,13 @@ def run_cells_parallel(pending, execute, policy, jobs, traced=False,
     """Yield :class:`CompletedCell` for ``pending`` in enumeration order.
 
     ``pending`` is a list of ``(index, key, cid)`` triples. Workers
-    pull cells greedily (``chunksize=1``, so a slow cell never strands
-    a batch behind it) while this generator yields strictly in
-    submission order — the property the byte-identical-journal
-    guarantee rests on.
+    pull cells greedily (a slow cell never strands a batch behind it)
+    while this generator yields strictly in submission order — the
+    property the byte-identical-journal guarantee rests on. Runs on the
+    supervised pool with default supervision (no wall deadline, no
+    memory cap): worker deaths are still detected, re-dispatched and —
+    for poison cells — quarantined as ``crashed`` instead of hanging
+    the sweep.
     """
-    context = _mp_context()
-    try:
-        pool = context.Pool(processes=jobs, initializer=_init_worker,
-                            initargs=(execute, policy, traced, sleep))
-    except (AttributeError, TypeError, ModuleNotFoundError) as error:
-        raise ReproError(
-            f"cannot start {jobs} sweep workers: {error}") from error
-    try:
-        for index, cid, record, spans, worker in pool.imap(
-                _run_one, list(pending), chunksize=1):
-            yield CompletedCell(index=index, cid=cid, record=record,
-                                spans=spans, worker=worker)
-    except Exception as error:
-        if _looks_like_pickling_error(error):
-            raise ReproError(
-                "parallel sweeps need a picklable executor on this "
-                "platform (module-level function, not a closure); run "
-                f"with jobs=1 or use the 'fork' start method: {error}"
-            ) from error
-        raise
-    finally:
-        pool.terminate()
-        pool.join()
-
-
-def _looks_like_pickling_error(error) -> bool:
-    import pickle
-
-    return isinstance(error, (pickle.PicklingError, AttributeError)) or \
-        "pickle" in str(error).lower()
+    yield from run_cells_supervised(pending, execute, policy, jobs,
+                                    traced=traced, sleep=sleep)

@@ -171,6 +171,13 @@ def render_sweep_completeness(report: dict) -> str:
     taxonomy = ", ".join(f"{status}={count}"
                          for status, count in statuses.items() if count)
     lines.append(f"  statuses: {taxonomy if taxonomy else 'none'}")
+    # Supervisor accounting: only worth a line when real faults happened
+    # (keeps clean-run output identical to the pre-supervisor engine).
+    restarts = report.get("worker_restarts", 0)
+    wall = report.get("wall_timeouts", 0)
+    if restarts or wall:
+        lines.append(f"  supervisor: {restarts} worker restart(s), "
+                     f"{wall} wall-clock timeout(s)")
     for entry in report["dnf"]:
         key = " ".join(f"{k}={v}" for k, v in entry["key"].items())
         lines.append(f"  DNF [{entry['status']:>13}] {key}"

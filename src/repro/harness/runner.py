@@ -37,10 +37,14 @@ STATUS_OOM = "out-of-memory"
 STATUS_UNSUPPORTED = "unsupported"
 STATUS_TIMEOUT = "timeout"
 STATUS_FAILED = "failed"
+#: A poison cell: it killed its worker process ``max_crashes`` times
+#: (segfault, SIGKILL, OOM-killer) and was quarantined by the
+#: supervised pool instead of being re-dispatched forever.
+STATUS_CRASHED = "crashed"
 
 #: Every status a cell record can carry, in report order.
 CELL_STATUSES = (STATUS_OK, STATUS_OOM, STATUS_UNSUPPORTED, STATUS_TIMEOUT,
-                 STATUS_FAILED)
+                 STATUS_FAILED, STATUS_CRASHED)
 
 
 def default_params(algorithm: str, dataset=None) -> dict:

@@ -1,0 +1,515 @@
+"""Supervised worker pool: parallel sweeps that survive real faults.
+
+The PR-5 executor fanned cells over a bare ``multiprocessing.Pool``,
+which defends against nothing the real world does to long sweeps: a
+worker that segfaults or is OOM-killed stalls ``imap`` forever, a cell
+that spins past any reasonable wall time wedges the whole run, and a
+poison cell would be re-dispatched until the machine gives up. Ammar &
+Özsu's eight-system study reports exactly this failure class — jobs
+that *fail or never return* — as the dominant result at scale, and the
+PR-3 DNF taxonomy exists to record it honestly. This module closes the
+gap with a parent-side **supervisor** driving long-lived workers over
+explicit per-worker pipes:
+
+* **Death detection + restart.** The supervisor waits on each worker's
+  result pipe *and* its process sentinel
+  (``multiprocessing.connection.wait``), so a dead worker — any exit
+  code, any signal — is noticed immediately, its in-flight cell is
+  re-dispatched, and a replacement worker is started.
+* **Poison-cell quarantine.** A cell that kills its worker
+  ``max_crashes`` times is quarantined with the typed DNF status
+  ``crashed`` (exit signal/code recorded) instead of crash-looping the
+  pool.
+* **Wall-clock deadlines.** ``wall_deadline_s`` bounds each cell in
+  *real* seconds — distinct from the PR-3 simulated-clock
+  ``deadline_s`` — after which the hung worker is SIGKILLed and the
+  cell records DNF ``timeout`` with ``wall_clock=true``.
+* **Memory caps.** ``memory_limit_bytes`` caps each worker's address
+  space (``RLIMIT_AS``, as headroom above the interpreter's footprint
+  at fork), so a real allocation blow-up raises ``MemoryError`` — the
+  ``out-of-memory`` DNF status — instead of invoking the OOM killer.
+* **Graceful drain.** SIGINT/SIGTERM stop dispatch, flush the merged
+  prefix to the journal, leave in-flight cells pending and raise
+  :class:`~repro.errors.SweepInterrupted` (CLI exit code 8), so
+  ``--resume`` continues byte-identically.
+
+Every PR-5 durability guarantee is preserved: workers run the exact
+:func:`~repro.harness.sweep.execute_cell` semantics, the parent remains
+the sole journal writer, results merge in **enumeration order** (so a
+``jobs=N`` journal is byte-identical to a serial one), and worker
+tracer spans graft under the parent's sweep span. Supervisor events —
+``worker-restart``, ``wall-timeout``, ``poison-quarantine``, ``drain``
+— are parent-side tracer instants, and none of the fault bookkeeping
+(worker names, crash counts for cells that eventually complete) leaks
+into the journal: a cell that survives a worker kill journals the same
+bytes a clean run writes.
+
+Shutdown semantics (the old pool got this wrong): on the clean path
+workers are asked to exit (sentinel task), then joined — the
+``close()``/``join()`` idiom; ``terminate()`` is reserved for the
+error/drain path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+
+from ..errors import ReproError, SweepInterrupted
+from ..observability import NULL_TRACER, Tracer
+from .runner import STATUS_CRASHED, STATUS_TIMEOUT
+from .sweep import CellRecord, execute_cell
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Parent-side supervision knobs, one value object per sweep.
+
+    Distinct from :class:`~repro.harness.sweep.CellPolicy` on purpose:
+    the cell policy travels *into* workers and defines what a cell
+    records; this policy stays in the parent and defines what happens
+    to the worker processes around it.
+    """
+
+    #: Real-seconds budget per cell dispatch; None = no wall deadline.
+    wall_deadline_s: float = None
+    #: Worker deaths a single cell may cause before quarantine.
+    max_crashes: int = 2
+    #: RLIMIT_AS headroom (bytes) above the worker's footprint at fork;
+    #: None = no cap.
+    memory_limit_bytes: int = None
+    #: Supervision poll period (real seconds): the upper bound on how
+    #: stale liveness/deadline checks can be when no pipe event fires.
+    heartbeat_s: float = 0.1
+
+
+@dataclass
+class SupervisorStats:
+    """Mutable fault accounting the caller reads after the run."""
+
+    restarts: int = 0
+    wall_timeouts: int = 0
+    poisoned: int = 0
+
+
+@dataclass
+class CompletedCell:
+    """One merged result the parent consumes in enumeration order."""
+
+    index: int
+    cid: str
+    record: object          # CellRecord
+    spans: list             # worker-side Span objects (may be empty)
+    worker: str             # supervised worker name, e.g. "sweep-worker-2"
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def describe_exit(exitcode) -> str:
+    """Human-readable worker exit: ``signal 9 (SIGKILL)`` or ``exit 3``."""
+    if exitcode is None:
+        return "still running"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = "unknown signal"
+        return f"signal {-exitcode} ({name})"
+    return f"exit code {exitcode}"
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _apply_memory_limit(headroom_bytes: int) -> None:
+    """Cap this process's address space at footprint + headroom.
+
+    The cap is *headroom above the current footprint* (read from
+    ``/proc/self/statm`` where available) rather than an absolute
+    number, so ``memory_limit_mb=256`` means "a cell may allocate
+    ~256 MB" regardless of how much address space the interpreter and
+    numpy already map. Platforms without ``resource``/``RLIMIT_AS``
+    silently skip the cap — the supervisor still contains the fallout
+    (the OOM-killed worker is just a crash).
+    """
+    try:
+        import resource
+    except ImportError:
+        return
+    base = 0
+    try:
+        with open("/proc/self/statm") as handle:
+            base = int(handle.read().split()[0]) \
+                * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    limit = base + int(headroom_bytes)
+    try:
+        _soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (AttributeError, ValueError, OSError):
+        pass
+
+
+class _BallooningExecute:
+    """Executor wrapper for injected ``oom(...)`` faults.
+
+    Balloons real memory *inside* the cell's isolation boundary, so the
+    resulting ``MemoryError`` flows through
+    :func:`~repro.harness.sweep.execute_cell`'s typed-failure
+    classification and records the paper's ``out-of-memory`` status —
+    the same path a genuine worker-side allocation blow-up takes.
+    """
+
+    def __init__(self, execute, mb: int):
+        self.execute = execute
+        self.mb = int(mb)
+
+    def __call__(self, key, budget_s=None):
+        chunks = []
+        chunk_bytes = 16 * 2**20
+        try:
+            for _ in range(max(1, (self.mb * 2**20) // chunk_bytes)):
+                # Touch the pages so the balloon is real memory, not
+                # just reserved address space.
+                chunks.append(bytearray(chunk_bytes))
+        except MemoryError:
+            raise MemoryError(
+                f"real-chaos balloon hit the worker address-space cap "
+                f"after ~{len(chunks) * chunk_bytes // 2**20} MB of "
+                f"{self.mb} MB") from None
+        finally:
+            del chunks
+        return self.execute(key, budget_s=budget_s)
+
+
+def _worker_main(task_conn, result_conn, execute, policy, traced, sleep,
+                 memory_limit_bytes, plan) -> None:
+    """Long-lived worker loop: recv task, run cell, send record.
+
+    The parent owns shutdown: SIGINT is ignored (a terminal Ctrl-C hits
+    the whole process group; the parent's drain logic decides what it
+    means), and the loop exits on the ``None`` sentinel or on EOF —
+    which also covers a dead parent, so SIGKILLing the sweep never
+    leaks orphan workers.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    if memory_limit_bytes:
+        _apply_memory_limit(memory_limit_bytes)
+    while True:
+        try:
+            task = task_conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        index, key, cid, crashes = task
+        run_execute = execute
+        if plan is not None:
+            if plan.kill_now(index, crashes):
+                os.kill(os.getpid(), signal.SIGKILL)
+            hang_s = plan.hang_seconds(index)
+            if hang_s is not None and crashes == 0:
+                time.sleep(hang_s)
+            balloon = plan.balloon_mb(index)
+            if balloon is not None and crashes == 0:
+                run_execute = _BallooningExecute(execute, balloon)
+        tracer = Tracer() if traced else NULL_TRACER
+        record = execute_cell(key, run_execute, policy, tracer=tracer,
+                              sleep=sleep)
+        spans = list(tracer.spans) if traced else []
+        try:
+            result_conn.send((index, cid, record, spans))
+        except (BrokenPipeError, OSError):
+            break
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One supervised worker: process + its two pipe endpoints."""
+
+    def __init__(self, context, name, init_args):
+        task_recv, self.task_conn = context.Pipe(duplex=False)
+        self.result_conn, result_send = context.Pipe(duplex=False)
+        self.process = context.Process(
+            target=_worker_main, name=name,
+            args=(task_recv, result_send) + init_args, daemon=True)
+        self.process.start()
+        # Close the child's ends in the parent so a dead worker reads
+        # as EOF on result_conn instead of blocking forever.
+        task_recv.close()
+        result_send.close()
+        self.name = name
+        self.inflight = None          # (index, key, cid) or None
+        self.deadline_at = None       # monotonic seconds, or None
+        self.killed_for_timeout = False
+
+    def dispatch(self, task, crashes: int, wall_deadline_s) -> None:
+        self.task_conn.send(tuple(task) + (crashes,))
+        self.inflight = task
+        self.killed_for_timeout = False
+        self.deadline_at = time.monotonic() + wall_deadline_s \
+            if wall_deadline_s is not None else None
+
+    def settle(self) -> None:
+        self.inflight = None
+        self.deadline_at = None
+        self.killed_for_timeout = False
+
+    def close(self) -> None:
+        for conn in (self.task_conn, self.result_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def run_cells_supervised(pending, execute, policy, jobs, supervise=None,
+                         traced=False, sleep=None, tracer=None, plan=None,
+                         stats=None):
+    """Yield :class:`CompletedCell` for ``pending`` in enumeration order.
+
+    ``pending`` is a list of ``(index, key, cid)`` triples; ``policy``
+    is the picklable :class:`~repro.harness.sweep.CellPolicy` every
+    worker applies; ``supervise`` the parent-side
+    :class:`SupervisorPolicy`; ``plan`` an optional
+    :class:`~repro.chaos.RealFaultPlan`; ``stats`` an optional
+    :class:`SupervisorStats` the caller reads afterwards. Workers pull
+    cells greedily while this generator yields strictly in submission
+    order — the property the byte-identical-journal guarantee rests on.
+    """
+    supervise = supervise if supervise is not None else SupervisorPolicy()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    stats = stats if stats is not None else SupervisorStats()
+    pending = [tuple(task) for task in pending]
+    if not pending:
+        return
+    context = _mp_context()
+    init_args = (execute, policy, traced, sleep,
+                 supervise.memory_limit_bytes, plan)
+
+    queue = deque(pending)            # tasks awaiting (re-)dispatch
+    crash_counts = {}                 # cid -> worker deaths so far
+    buffered = {}                     # index -> CompletedCell
+    order = [index for index, _key, _cid in pending]
+    head = 0                          # next position in `order` to yield
+    workers = []
+    spawned = 0
+    drain_signal = [None]             # set by the signal handlers
+
+    def _drain_handler(signum, _frame):
+        drain_signal[0] = signum
+
+    def _install(signum, handler):
+        try:
+            return signal.signal(signum, handler)
+        except (ValueError, OSError):
+            return None               # not the main thread
+
+    def _start_worker():
+        nonlocal spawned
+        spawned += 1
+        try:
+            worker = _WorkerHandle(context, f"sweep-worker-{spawned}",
+                                   init_args)
+        except Exception as error:
+            if _looks_like_pickling_error(error):
+                raise ReproError(
+                    "supervised sweeps need a picklable executor on "
+                    "this platform (module-level function, not a "
+                    "closure); run with jobs=1 or use the 'fork' start "
+                    f"method: {error}") from error
+            raise
+        workers.append(worker)
+        return worker
+
+    def _complete(worker, payload) -> None:
+        index, cid, record, spans = payload
+        buffered[index] = CompletedCell(index=index, cid=cid,
+                                        record=record, spans=spans,
+                                        worker=worker.name)
+        worker.settle()
+
+    def _reap(worker) -> None:
+        """A worker died: classify, re-dispatch or quarantine, restart."""
+        worker.process.join()
+        exitcode = worker.process.exitcode
+        task = worker.inflight
+        workers.remove(worker)
+        worker.close()
+        if task is not None:
+            index, key, cid = task
+            if worker.killed_for_timeout:
+                stats.wall_timeouts += 1
+                tracer.instant(
+                    "wall-timeout", worker=worker.name,
+                    wall_deadline_s=supervise.wall_deadline_s, **key)
+                record = CellRecord(
+                    key, STATUS_TIMEOUT, wall_clock=True,
+                    failure=f"wall-clock deadline of "
+                            f"{supervise.wall_deadline_s:g} s exceeded; "
+                            "worker killed")
+                buffered[index] = CompletedCell(
+                    index=index, cid=cid, record=record, spans=[],
+                    worker=worker.name)
+            else:
+                crashes = crash_counts.get(cid, 0) + 1
+                crash_counts[cid] = crashes
+                if crashes >= supervise.max_crashes:
+                    stats.poisoned += 1
+                    tracer.instant("poison-quarantine", worker=worker.name,
+                                   crashes=crashes,
+                                   exit=describe_exit(exitcode), **key)
+                    record = CellRecord(
+                        key, STATUS_CRASHED, attempts=crashes,
+                        quarantined=True,
+                        failure=f"cell killed its worker {crashes} "
+                                f"time(s); quarantined as poison "
+                                f"(last death: {describe_exit(exitcode)})")
+                    buffered[index] = CompletedCell(
+                        index=index, cid=cid, record=record, spans=[],
+                        worker=worker.name)
+                else:
+                    queue.appendleft(task)
+        if queue and len(workers) < jobs:
+            replacement = _start_worker()
+            stats.restarts += 1
+            tracer.instant("worker-restart", worker=replacement.name,
+                           after=describe_exit(exitcode),
+                           replaces=worker.name)
+
+    old_int = _install(signal.SIGINT, _drain_handler)
+    old_term = _install(signal.SIGTERM, _drain_handler)
+    clean = False
+    try:
+        for _ in range(min(max(jobs, 1), len(pending))):
+            _start_worker()
+        while head < len(order):
+            if drain_signal[0] is not None:
+                # Drain: everything merged so far is already yielded
+                # (and journaled by the caller); in-flight cells simply
+                # stay pending for --resume.
+                still_pending = len(order) - head
+                tracer.instant("drain", signum=drain_signal[0],
+                               pending=still_pending)
+                raise SweepInterrupted(drain_signal[0], still_pending)
+            # Dispatch work to idle workers.
+            for worker in workers:
+                if worker.inflight is None and queue:
+                    task = queue.popleft()
+                    crashes = crash_counts.get(task[2], 0)
+                    try:
+                        worker.dispatch(task, crashes,
+                                        supervise.wall_deadline_s)
+                    except Exception as error:
+                        if _looks_like_pickling_error(error):
+                            raise ReproError(
+                                "supervised sweeps need picklable cell "
+                                f"keys: {error}") from error
+                        raise
+            # Heartbeat: wake on a result, a death, or the nearest
+            # wall deadline — whichever comes first.
+            timeout = supervise.heartbeat_s
+            now = time.monotonic()
+            for worker in workers:
+                if worker.deadline_at is not None:
+                    timeout = min(timeout,
+                                  max(0.0, worker.deadline_at - now))
+            ready = set(connection.wait(
+                [worker.result_conn for worker in workers]
+                + [worker.process.sentinel for worker in workers],
+                timeout=timeout))
+            for worker in list(workers):
+                if worker.result_conn in ready:
+                    try:
+                        _complete(worker, worker.result_conn.recv())
+                    except (EOFError, OSError):
+                        pass          # death raced the recv; reap below
+            for worker in list(workers):
+                if worker.process.sentinel in ready \
+                        and not worker.process.is_alive():
+                    # Accept a result that raced the death before
+                    # declaring the cell crashed.
+                    try:
+                        if worker.result_conn.poll():
+                            _complete(worker, worker.result_conn.recv())
+                    except (EOFError, OSError):
+                        pass
+                    _reap(worker)
+            # Enforce wall-clock deadlines on the survivors.
+            now = time.monotonic()
+            for worker in workers:
+                if worker.deadline_at is not None \
+                        and now >= worker.deadline_at \
+                        and not worker.killed_for_timeout:
+                    if worker.result_conn.poll():
+                        continue      # finished just in time
+                    worker.killed_for_timeout = True
+                    worker.process.kill()
+            # Yield the merged enumeration-order prefix.
+            while head < len(order) and order[head] in buffered:
+                yield buffered.pop(order[head])
+                head += 1
+        clean = True
+    finally:
+        _shutdown(workers, clean)
+        if old_int is not None:
+            signal.signal(signal.SIGINT, old_int)
+        if old_term is not None:
+            signal.signal(signal.SIGTERM, old_term)
+
+
+def _shutdown(workers, clean: bool) -> None:
+    """Stop the pool: sentinel + join when clean, terminate otherwise."""
+    for worker in workers:
+        if clean:
+            try:
+                worker.task_conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        else:
+            worker.process.terminate()
+    deadline = time.monotonic() + 5.0
+    for worker in workers:
+        worker.process.join(timeout=max(0.1, deadline - time.monotonic()))
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join()
+        worker.close()
+
+
+def _looks_like_pickling_error(error) -> bool:
+    """Is ``error`` a serialization failure (vs a genuine executor bug)?
+
+    Deliberately narrow: only ``pickle.PicklingError`` and the
+    ``TypeError``s the serialization layer raises ("cannot pickle X")
+    qualify. An ``AttributeError`` — or any other exception whose
+    message happens to mention pickling — propagates untranslated, so a
+    real bug is never mislabelled with a misleading "run with jobs=1"
+    hint.
+    """
+    import pickle
+
+    if isinstance(error, pickle.PicklingError):
+        return True
+    return isinstance(error, TypeError) and "pickle" in str(error).lower()

@@ -58,6 +58,7 @@ from ..observability import NULL_TRACER
 from .persistence import _jsonable, atomic_write_text
 from .runner import (
     CELL_STATUSES,
+    STATUS_CRASHED,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_OOM,
@@ -68,11 +69,16 @@ from .runner import (
 JOURNAL_VERSION = 1
 
 #: Typed errors an executor may raise, with the cell status each maps to.
+#: ``MemoryError`` is typed on purpose: with the supervised pool capping
+#: worker address space (``memory_limit_mb``), a *real* allocation
+#: blow-up surfaces exactly like the simulator's ``CapacityError`` —
+#: as the paper's ``out-of-memory`` dash, not a quarantined crash.
 TYPED_FAILURES = (
     (CapacityError, STATUS_OOM),
     (ExpressibilityError, STATUS_UNSUPPORTED),
     (DeadlineExceeded, STATUS_TIMEOUT),
     (NodeFailure, STATUS_FAILED),
+    (MemoryError, STATUS_OOM),
 )
 
 _TYPED_ERRORS = tuple(error for error, _ in TYPED_FAILURES)
@@ -122,9 +128,26 @@ class CellRecord:
     attempts: int = 1
     backoff_s: list = field(default_factory=list)
     quarantined: bool = False
+    #: True when a *wall-clock* deadline (the supervised pool killing a
+    #: hung worker) produced this record, as opposed to the simulated
+    #: clock's ``DeadlineExceeded``. Real-world, not reproducible, so
+    #: resume re-runs such cells instead of replaying them.
+    wall_clock: bool = False
     #: True when this record came from a journal instead of execution.
     #: Not serialized — it describes this process, not the cell.
     replayed: bool = field(default=False, compare=False)
+
+    @property
+    def real_fault(self) -> bool:
+        """Did a real process fault (crash / wall timeout) end this cell?
+
+        Such outcomes describe the machine the sweep ran on, not the
+        simulated experiment, so resume treats them as *not completed*:
+        the cell is re-executed rather than replayed, and a fault-free
+        rerun converges to the journal a clean run would have written.
+        """
+        return self.status == STATUS_CRASHED or \
+            (self.status == STATUS_TIMEOUT and self.wall_clock)
 
     @property
     def ok(self) -> bool:
@@ -149,6 +172,8 @@ class CellRecord:
             out["backoff_s"] = list(self.backoff_s)
         if self.quarantined:
             out["quarantined"] = True
+        if self.wall_clock:
+            out["wall_clock"] = True
         return out
 
     @classmethod
@@ -167,6 +192,7 @@ class CellRecord:
             attempts=int(payload.get("attempts", 1)),
             backoff_s=list(payload.get("backoff_s", [])),
             quarantined=bool(payload.get("quarantined", False)),
+            wall_clock=bool(payload.get("wall_clock", False)),
             replayed=True,
         )
 
@@ -230,6 +256,22 @@ class SweepJournal:
                 )
             records[cell_id(record.key)] = record
         return records
+
+    def retain_prefix(self, count: int) -> None:
+        """Keep only the header and the first ``count`` record lines.
+
+        Called on resume when the journal tail holds real-fault records
+        (``crashed``, wall-clock ``timeout``): merge order equals
+        enumeration order, so truncating to the clean prefix and
+        re-executing everything after it reconverges the journal to the
+        bytes a fault-free run writes. The rewrite happens in
+        :meth:`open`, through the same atomic path torn-tail repair
+        uses.
+        """
+        text = self._repaired_text if self._repaired_text is not None \
+            else self.path.read_text()
+        lines = [line for line in text.split("\n") if line.strip()]
+        self._repaired_text = "\n".join(lines[:1 + count]) + "\n"
 
     def open(self, name: str, config: dict) -> None:
         """Start (or continue) appending; writes the header if new."""
@@ -344,6 +386,11 @@ class SweepResult:
     records: dict
     executed: int = 0
     replayed: int = 0
+    #: Supervisor accounting (0 for serial / unsupervised runs): worker
+    #: processes restarted after a death, and cells killed for blowing
+    #: their wall-clock deadline.
+    worker_restarts: int = 0
+    wall_timeouts: int = 0
 
     def get(self, **key) -> CellRecord:
         """The record for one cell, by its key fields."""
@@ -393,6 +440,8 @@ class SweepResult:
             "executed": self.executed,
             "replayed": self.replayed,
             "retries": retried,
+            "worker_restarts": self.worker_restarts,
+            "wall_timeouts": self.wall_timeouts,
             "quarantined": quarantined,
             "dnf": dnf,
         }
@@ -411,12 +460,25 @@ class Sweep:
     choice for a simulator; pass ``time.sleep`` when the executor talks
     to real systems.
 
-    ``jobs`` fans cells out over worker processes
-    (:mod:`repro.harness.parallel`): ``None``/``1`` run in-process,
+    ``jobs`` fans cells out over the **supervised worker pool**
+    (:mod:`repro.harness.supervisor`): ``None``/``1`` run in-process,
     ``0`` means ``os.cpu_count()``, and any other N runs N workers.
     The parent stays the sole journal writer and merges records in
     enumeration order, so journals, resume, retries and DNF taxonomy
     are **byte-identical across any worker count**.
+
+    The supervisor adds real-process fault tolerance on top:
+    ``wall_deadline_s`` is a per-cell *wall-clock* budget (distinct
+    from the simulated ``deadline_s``) after which a hung worker is
+    killed and the cell records ``timeout`` with ``wall_clock=true``;
+    ``max_crashes`` quarantines a poison cell as ``crashed`` after it
+    kills that many workers; ``memory_limit_mb`` caps each worker's
+    address space (``RLIMIT_AS``, as headroom above the interpreter's
+    footprint at fork) so a real allocation blow-up surfaces as the
+    ``out-of-memory`` status; and ``real_chaos`` injects *actual*
+    process faults (:class:`~repro.chaos.RealFaultPlan`, also via
+    ``$REPRO_CHAOS_REAL``) to prove all of the above. Any of these
+    knobs routes execution through the supervisor even at ``jobs=1``.
 
     The engine is deliberately stateless between ``run`` calls except
     for ``last``, the most recent :class:`SweepResult` (handy for
@@ -426,11 +488,21 @@ class Sweep:
     def __init__(self, name: str, journal=None, resume: bool = False,
                  deadline_s: float = None, max_retries: int = 2,
                  backoff_base_s: float = 0.5, backoff_cap_s: float = 8.0,
-                 sleep=None, tracer=None, jobs=None):
+                 sleep=None, tracer=None, jobs=None,
+                 wall_deadline_s: float = None, max_crashes: int = 2,
+                 memory_limit_mb: float = None, real_chaos=None):
+        from ..chaos.real import resolve_real_chaos
+
         if max_retries < 0:
             raise ReproError("max_retries must be >= 0")
         if jobs is not None and jobs < 0:
             raise ReproError("jobs must be >= 0 (0 = all cores)")
+        if wall_deadline_s is not None and wall_deadline_s <= 0:
+            raise ReproError("wall_deadline_s must be > 0")
+        if max_crashes < 1:
+            raise ReproError("max_crashes must be >= 1")
+        if memory_limit_mb is not None and memory_limit_mb <= 0:
+            raise ReproError("memory_limit_mb must be > 0")
         self.name = name
         self.journal_path = Path(journal) if journal is not None else None
         self.resume = resume
@@ -441,6 +513,10 @@ class Sweep:
         self.sleep = sleep
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.jobs = jobs
+        self.wall_deadline_s = wall_deadline_s
+        self.max_crashes = max_crashes
+        self.memory_limit_mb = memory_limit_mb
+        self.real_chaos = resolve_real_chaos(real_chaos)
         self.last = None
 
     def policy(self) -> CellPolicy:
@@ -448,6 +524,28 @@ class Sweep:
                           max_retries=self.max_retries,
                           backoff_base_s=self.backoff_base_s,
                           backoff_cap_s=self.backoff_cap_s)
+
+    def supervisor_policy(self):
+        """The parent-side supervision policy for the worker pool."""
+        from .supervisor import SupervisorPolicy
+
+        limit_bytes = int(self.memory_limit_mb * 2**20) \
+            if self.memory_limit_mb else None
+        return SupervisorPolicy(wall_deadline_s=self.wall_deadline_s,
+                                max_crashes=self.max_crashes,
+                                memory_limit_bytes=limit_bytes)
+
+    def supervised(self) -> bool:
+        """Must cells run in worker processes (even at ``jobs=1``)?
+
+        Wall-clock deadlines, crash containment, memory caps and real
+        chaos all need a process boundary between the supervisor and
+        the cell — in-process execution cannot kill a hung cell.
+        """
+        return bool(self.wall_deadline_s is not None
+                    or self.memory_limit_mb is not None
+                    or (self.real_chaos is not None
+                        and len(self.real_chaos)))
 
     def effective_jobs(self) -> int:
         """The worker count ``run`` will use (resolves ``jobs=0``)."""
@@ -491,6 +589,7 @@ class Sweep:
                 # Only cells of *this* sweep replay; stale extras are
                 # ignored (e.g. the frontier was narrowed between runs).
                 records = {cid: loaded[cid] for cid in ids if cid in loaded}
+                records = self._drop_real_faults(ids, records, journal)
             journal.open(self.name, self._config())
 
         result = SweepResult(self.name, keys, records)
@@ -506,9 +605,10 @@ class Sweep:
                         tracer.instant("cell-replayed", **key)
                     else:
                         pending.append((index, key, cid))
-                if jobs > 1 and len(pending) > 1:
-                    self._run_parallel(pending, execute, jobs, records,
-                                       result, journal)
+                if pending and (self.supervised()
+                                or (jobs > 1 and len(pending) > 1)):
+                    self._run_parallel(pending, execute, jobs, len(keys),
+                                       records, result, journal)
                 else:
                     for _index, key, cid in pending:
                         record = self._run_cell(key, execute)
@@ -522,21 +622,61 @@ class Sweep:
         self.last = result
         return result
 
+    def _drop_real_faults(self, ids, records, journal) -> dict:
+        """Forget journaled cells a *real* process fault ended.
+
+        A ``crashed`` or wall-clock ``timeout`` record describes the
+        machine (a poison binary, an overloaded box), not the simulated
+        experiment — replaying it would freeze a transient outcome
+        forever. Resume instead re-executes those cells: the journal is
+        truncated to its clean enumeration-order prefix (merge order ==
+        enumeration order, so everything after the first real-fault
+        line re-runs deterministically) and a fault-free resume
+        converges byte-for-byte to the journal of a clean run.
+        """
+        if not any(record.real_fault for record in records.values()):
+            return records
+        kept = {}
+        for cid in ids:
+            record = records.get(cid)
+            if record is None or record.real_fault:
+                break
+            kept[cid] = record
+        for cid, record in records.items():
+            if record.real_fault:
+                self.tracer.instant("cell-refaulted", status=record.status,
+                                    **record.key)
+        journal.retain_prefix(len(kept))
+        return kept
+
     def _run_cell(self, key: dict, execute) -> CellRecord:
         """One cell behind its isolation boundary, with retry policy."""
         return execute_cell(key, execute, self.policy(),
                             tracer=self.tracer, sleep=self.sleep)
 
-    def _run_parallel(self, pending, execute, jobs, records, result,
-                      journal) -> None:
-        """Fan pending cells over worker processes; merge in order."""
-        from .parallel import run_cells_parallel
+    def _run_parallel(self, pending, execute, jobs, num_cells, records,
+                      result, journal) -> None:
+        """Fan pending cells over the supervised pool; merge in order."""
+        from .supervisor import SupervisorStats, run_cells_supervised
 
-        for cell in run_cells_parallel(
-                pending, execute, self.policy(), jobs,
-                traced=self.tracer.enabled, sleep=self.sleep):
-            records[cell.cid] = cell.record
-            result.executed += 1
-            self.tracer.merge_spans(cell.spans, worker=cell.worker)
-            if journal is not None:
-                journal.append(cell.record)
+        plan = self.real_chaos if self.real_chaos is not None \
+            and len(self.real_chaos) else None
+        supervise = self.supervisor_policy()
+        if plan is not None:
+            plan.validate(num_cells,
+                          supervise.memory_limit_bytes is not None)
+        stats = SupervisorStats()
+        try:
+            for cell in run_cells_supervised(
+                    pending, execute, self.policy(), jobs,
+                    supervise=supervise, traced=self.tracer.enabled,
+                    sleep=self.sleep, tracer=self.tracer, plan=plan,
+                    stats=stats):
+                records[cell.cid] = cell.record
+                result.executed += 1
+                self.tracer.merge_spans(cell.spans, worker=cell.worker)
+                if journal is not None:
+                    journal.append(cell.record)
+        finally:
+            result.worker_restarts += stats.restarts
+            result.wall_timeouts += stats.wall_timeouts

@@ -8,12 +8,16 @@ serially and in parallel are interchangeable.
 """
 
 import os
+import pickle
 
 import pytest
 
 from repro.errors import CapacityError, ReproError
 from repro.harness import Sweep
-from repro.harness.parallel import run_cells_parallel
+from repro.harness.parallel import (
+    _looks_like_pickling_error,
+    run_cells_parallel,
+)
 from repro.harness.sweep import CellPolicy
 from repro.harness.tables import table5
 from repro.observability import Tracer
@@ -36,6 +40,10 @@ def mixed_executor(key, budget_s=None):
     if key["cell"] == 2:
         raise ValueError("always broken")
     return {"x": key["cell"]}
+
+
+def attribute_error_executor(key, budget_s=None):
+    raise AttributeError("'NoneType' object has no attribute 'edges'")
 
 
 class TestParallelEngine:
@@ -127,6 +135,33 @@ class TestParallelEngine:
             [str(index) for index in range(6)]
         assert all(cell.record.ok for cell in completed)
         assert all(cell.worker for cell in completed)
+
+
+class TestPicklingErrorDetection:
+    """The serialization-hint translation must not swallow real bugs."""
+
+    def test_only_serialization_failures_qualify(self):
+        assert _looks_like_pickling_error(
+            pickle.PicklingError("Can't pickle <function <lambda>>"))
+        assert _looks_like_pickling_error(
+            TypeError("cannot pickle '_thread.lock' object"))
+        # A worker-side AttributeError is a bug in the executor, not a
+        # transport problem — it must never earn the "run with jobs=1"
+        # hint (the old any-AttributeError match did exactly that).
+        assert not _looks_like_pickling_error(
+            AttributeError("'NoneType' object has no attribute 'edges'"))
+        assert not _looks_like_pickling_error(
+            RuntimeError("failed while loading pickle fixtures"))
+        assert not _looks_like_pickling_error(
+            TypeError("unsupported operand type(s)"))
+
+    def test_worker_attribute_error_propagates_untranslated(self):
+        result = Sweep("s", jobs=2, max_retries=0).run(
+            keys(3), attribute_error_executor)
+        for record in result:
+            assert record.status == "failed" and record.quarantined
+            assert record.failure.startswith("AttributeError")
+            assert "jobs=1" not in record.failure
 
 
 class TestTable5Parallel:
