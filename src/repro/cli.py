@@ -511,6 +511,44 @@ def _cmd_perf_advise(args) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args) -> int:
+    """Run the long-lived experiment service until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .serve import ExperimentService
+    from .serve.admission import AdmissionPolicy
+
+    policy = AdmissionPolicy(max_running=args.max_running,
+                             max_queue=args.max_queue,
+                             max_deadline_s=args.max_deadline,
+                             memory_budget_mb=args.memory_budget_mb)
+    service = ExperimentService(args.host, args.port, jobs=args.jobs,
+                                state_dir=args.state_dir, policy=policy,
+                                warm=not args.no_warm)
+
+    def _announce(host, port):
+        print(f"repro-serve listening on http://{host}:{port} "
+              f"(pool jobs={args.jobs}, state={args.state_dir})",
+              flush=True)
+
+    service.on_ready = _announce
+    return asyncio.run(service.run())
+
+
+def _cmd_loadgen(args) -> int:
+    """Seeded mixed load against a running server; reports latency."""
+    from .serve.loadgen import render_loadgen, run_loadgen
+
+    report = run_loadgen(args.host, args.port, requests=args.requests,
+                         concurrency=args.concurrency, seed=args.seed,
+                         timeout_s=args.timeout, settle=not args.no_settle)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_loadgen(report))
+    return EXIT_FAILURE if report["failed"] else EXIT_OK
+
+
 def _cmd_perf_baseline(args) -> int:
     from . import perf
 
@@ -518,6 +556,14 @@ def _cmd_perf_baseline(args) -> int:
         from benchmarks.conftest import load_benchmarks
 
         registry = load_benchmarks()
+        if args.json:
+            print(json.dumps(
+                {name: {"artifact": bench.artifact,
+                        "producer": f"{bench.producer.__module__}."
+                                    f"{bench.producer.__name__}"}
+                 for name, bench in sorted(registry.items())},
+                indent=2, sort_keys=True))
+            return EXIT_OK
         for name in sorted(registry):
             bench = registry[name]
             print(f"{name:<28} artifact={bench.artifact:<12} "
@@ -816,6 +862,65 @@ def build_parser() -> argparse.ArgumentParser:
                             "different datagen code version")
     cache.add_argument("--json", action="store_true")
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived async experiment service (JSON over HTTP)",
+        description="Run the repro.serve daemon: hot pinned datasets, "
+                    "one warm supervised worker pool shared across "
+                    "requests, typed admission control, and a "
+                    "journal-backed job registry under --state-dir. "
+                    "SIGTERM drains gracefully — running sweeps stop "
+                    "at the next cell boundary with their journals "
+                    "flushed (exit 8 when anything was interrupted; "
+                    "a restarted server resumes them byte-identically).",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="TCP port (0 picks a free one; default 8750)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="supervised pool workers (default: 2)")
+    serve.add_argument("--state-dir", default=".repro_serve",
+                       help="job journal + auto sweep journals "
+                            "(default: .repro_serve)")
+    serve.add_argument("--max-running", type=int, default=8,
+                       help="admission: concurrent jobs (default: 8)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission: queued jobs beyond running "
+                            "(default: 64)")
+    serve.add_argument("--max-deadline", type=float, default=600.0,
+                       help="admission: largest accepted per-request "
+                            "wall deadline in seconds (default: 600)")
+    serve.add_argument("--memory-budget-mb", type=float, default=4096.0,
+                       help="admission: total reservable memory budget "
+                            "(default: 4096)")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip pinning the gate datasets at startup")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="deterministic seeded load generator for 'repro serve'",
+        description="Drive a running server with a seeded mixed stream "
+                    "(warm gate experiments, perf analyses, durable "
+                    "sweeps) over concurrent keep-alive connections; "
+                    "reports client-observed p50/p90/p99 latency and "
+                    "throughput. The same seed always issues the same "
+                    "request sequence.")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8750)
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--timeout", type=float, default=120.0,
+                         help="per-request client timeout in seconds")
+    loadgen.add_argument("--no-settle", action="store_true",
+                         help="return without waiting for async (202) "
+                              "jobs to finish on the server")
+    loadgen.add_argument("--json", action="store_true")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     rep = sub.add_parser("report",
                          help="full markdown reproduction report")

@@ -28,6 +28,13 @@ disk cache:
   instants (``dataset-cache-hit`` / ``-miss`` / ``-store``) on the
   active tracer, so a sweep's flight record proves whether generation
   actually happened.
+* **Pinned hot datasets.** Long-lived processes (the ``repro serve``
+  daemon) can :func:`pin` entries — a refcounted in-process registry
+  holding strong references to the loaded arrays, checked *before* the
+  disk lookup. A pinned hit costs a dict lookup (no ``open``, no page
+  faults on a cold page cache) and is marked ``pinned=true`` on its
+  ``dataset-cache-hit`` instant; :func:`pinning` pins everything a
+  warm-up block touches.
 
 The cache root is ``$REPRO_CACHE_DIR`` when set, else ``.repro_cache``
 under the current directory. ``REPRO_DATASET_CACHE=0`` disables disk
@@ -43,6 +50,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -217,23 +225,33 @@ def get_or_build(generator: str, params: dict, build):
     Returns the *loaded* (memory-mapped, immutable) dataset on both
     paths, so cold and warm runs hand out indistinguishable objects.
     Falls back to a frozen in-memory build when caching is disabled or
-    the entry cannot be written (read-only filesystem).
+    the entry cannot be written (read-only filesystem). Pinned entries
+    (see :func:`pin`) short-circuit everything: the held object is
+    returned directly, with a ``pinned=true`` hit instant as proof.
     """
-    if not cache_enabled():
-        return freeze_dataset(build())
     key = entry_key(generator, params)
+    with _PINS_LOCK:
+        held = _PINS.get(key)
+        if held is not None:
+            held["hits"] += 1
+    if held is not None:
+        _TRACER.instant("dataset-cache-hit", generator=generator, key=key,
+                        pinned=True)
+        return held["data"]
+    if not cache_enabled():
+        return _maybe_pin(key, generator, freeze_dataset(build()))
     entry = cache_root() / key
     if (entry / _META_NAME).exists():
         _TRACER.instant("dataset-cache-hit", generator=generator, key=key)
-        return freeze_dataset(_load(entry))
+        return _maybe_pin(key, generator, freeze_dataset(_load(entry)))
     _TRACER.instant("dataset-cache-miss", generator=generator, key=key)
     data = build()
     try:
         _store(entry, generator, params, data)
     except OSError:
-        return freeze_dataset(data)
+        return _maybe_pin(key, generator, freeze_dataset(data))
     _TRACER.instant("dataset-cache-store", generator=generator, key=key)
-    return freeze_dataset(_load(entry))
+    return _maybe_pin(key, generator, freeze_dataset(_load(entry)))
 
 
 def disk_cached(generator: str):
@@ -247,6 +265,7 @@ def disk_cached(generator: str):
 
     def wrap(fn):
         signature = inspect.signature(fn)
+        _GENERATOR_SIGNATURES[generator] = signature
 
         @functools.wraps(fn)
         def inner(*args, **kwargs):
@@ -258,6 +277,125 @@ def disk_cached(generator: str):
         return inner
 
     return wrap
+
+
+# -- pinned hot datasets (the serving layer's warm set) ----------------------
+
+#: key -> {"generator", "data", "refcount", "hits"}; guarded by the lock
+#: (the server touches this from its event loop and sweep threads).
+_PINS = {}
+_PINS_LOCK = threading.Lock()
+
+#: generator name -> its ``inspect.Signature``; filled by
+#: :func:`disk_cached` so :func:`pin` can apply the same
+#: defaults-applied key normalization the decorated call path uses.
+_GENERATOR_SIGNATURES = {}
+
+
+def _full_params(generator: str, params: dict) -> dict:
+    signature = _GENERATOR_SIGNATURES.get(generator)
+    if signature is None:
+        return params
+    bound = signature.bind(**params)
+    bound.apply_defaults()
+    return dict(bound.arguments)
+
+#: Depth of active :func:`pinning` blocks (>0 = auto-pin every load).
+_PINNING_DEPTH = [0]
+
+
+def _maybe_pin(key: str, generator: str, data):
+    """Auto-pin a freshly loaded dataset inside a :func:`pinning` block."""
+    with _PINS_LOCK:
+        if _PINNING_DEPTH[0] > 0:
+            held = _PINS.get(key)
+            if held is not None:
+                held["refcount"] += 1
+            else:
+                _PINS[key] = {"generator": generator, "data": data,
+                              "refcount": 1, "hits": 0}
+    return data
+
+
+@contextmanager
+def pinning():
+    """Pin every dataset loaded inside the block (refcount +1 each).
+
+    The serving layer wraps its warm-up requests in this: afterwards
+    the gate datasets live in the process as strong references, and
+    every later request hits them without touching the filesystem.
+    """
+    with _PINS_LOCK:
+        _PINNING_DEPTH[0] += 1
+    try:
+        yield
+    finally:
+        with _PINS_LOCK:
+            _PINNING_DEPTH[0] -= 1
+
+
+def pin(generator: str, params: dict, build=None) -> str:
+    """Pin one entry by identity; returns its key.
+
+    Loads the disk entry when present, else falls back to ``build``
+    (and publishes it on the way, same as :func:`get_or_build`). A
+    repeated pin of the same key bumps its refcount. ``params`` may be
+    partial for a :func:`disk_cached` generator — the registered
+    signature fills in defaults, exactly like the decorated call path.
+    """
+    params = _full_params(generator, params)
+    key = entry_key(generator, params)
+    with _PINS_LOCK:
+        held = _PINS.get(key)
+        if held is not None:
+            held["refcount"] += 1
+            return key
+    entry = cache_root() / key
+    if cache_enabled() and (entry / _META_NAME).exists():
+        _TRACER.instant("dataset-cache-hit", generator=generator, key=key)
+        data = freeze_dataset(_load(entry))
+    elif build is not None:
+        data = get_or_build(generator, params, build)
+    else:
+        raise KeyError(
+            f"cannot pin {generator} entry {key}: not in the disk cache "
+            "and no build callable given")
+    with _PINS_LOCK:
+        held = _PINS.get(key)
+        if held is not None:
+            held["refcount"] += 1
+        else:
+            _PINS[key] = {"generator": generator, "data": data,
+                          "refcount": 1, "hits": 0}
+    return key
+
+
+def unpin(key: str) -> bool:
+    """Drop one reference; the entry is released at refcount zero."""
+    with _PINS_LOCK:
+        held = _PINS.get(key)
+        if held is None:
+            return False
+        held["refcount"] -= 1
+        if held["refcount"] <= 0:
+            del _PINS[key]
+        return True
+
+
+def pinned() -> list:
+    """The pinned entries: key, generator, refcount, pinned-hit count."""
+    with _PINS_LOCK:
+        return [{"key": key, "generator": held["generator"],
+                 "refcount": held["refcount"], "hits": held["hits"]}
+                for key, held in sorted(_PINS.items())]
+
+
+def clear_pins() -> int:
+    """Release every pin (the server's shutdown path); returns count."""
+    with _PINS_LOCK:
+        count = len(_PINS)
+        _PINS.clear()
+        return count
 
 
 # -- management (the ``repro cache`` subcommand) -----------------------------
@@ -296,6 +434,7 @@ def stats(root=None) -> dict:
             item["generator"], {"entries": 0, "bytes": 0})
         bucket["entries"] += 1
         bucket["bytes"] += item["bytes"]
+    held = pinned()
     return {
         "root": str(root),
         "enabled": cache_enabled(),
@@ -303,6 +442,12 @@ def stats(root=None) -> dict:
         "bytes": sum(item["bytes"] for item in listed),
         "stale_entries": sum(1 for item in listed if item["stale"]),
         "by_generator": by_generator,
+        "pinned": {
+            "entries": len(held),
+            "refcount": sum(item["refcount"] for item in held),
+            "hits": sum(item["hits"] for item in held),
+            "keys": held,
+        },
     }
 
 

@@ -28,7 +28,7 @@ from .runner import (
 )
 from .spec import ExperimentSpec, valid_params
 from .strong_scaling import parallel_efficiency, strong_scaling
-from .supervisor import SupervisorPolicy, SupervisorStats
+from .supervisor import SupervisorPolicy, SupervisorPool, SupervisorStats
 from .sweep import (
     CellOutcome,
     CellPolicy,
@@ -52,6 +52,7 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_TIMEOUT",
     "SupervisorPolicy",
+    "SupervisorPool",
     "SupervisorStats",
     "Sweep",
     "SweepResult",

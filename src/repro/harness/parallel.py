@@ -45,7 +45,9 @@ from __future__ import annotations
 from .supervisor import (
     CompletedCell,
     SupervisorPolicy,
+    SupervisorPool,
     SupervisorStats,
+    Ticket,
     _looks_like_pickling_error,
     _mp_context,
     run_cells_supervised,
@@ -55,7 +57,9 @@ from .supervisor import (
 __all__ = [
     "CompletedCell",
     "SupervisorPolicy",
+    "SupervisorPool",
     "SupervisorStats",
+    "Ticket",
     "_looks_like_pickling_error",
     "_mp_context",
     "run_cells_parallel",

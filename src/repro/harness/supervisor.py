@@ -33,6 +33,19 @@ explicit per-worker pipes:
   :class:`~repro.errors.SweepInterrupted` (CLI exit code 8), so
   ``--resume`` continues byte-identically.
 
+Since PR-9 the pool is a **long-lived object**:
+:class:`SupervisorPool` owns the workers and a supervision thread, and
+each *task* ships its own executor, cell policy, tracer and chaos plan
+over the pipe. That makes the pool generic — the ``repro serve``
+daemon keeps one warm pool across requests, and repeated
+:class:`~repro.harness.sweep.Sweep` runs in one process reuse workers
+instead of paying fork + import per sweep. The lifecycle is explicit:
+``start()`` → ``submit()`` (returns a :class:`Ticket`) → ``drain()`` →
+``close()``. :func:`run_cells_supervised` keeps its PR-8 signature and
+semantics, implemented on top: it submits every pending cell, waits on
+tickets in enumeration order, and — when it owns the pool — tears it
+down afterwards.
+
 Every PR-5 durability guarantee is preserved: workers run the exact
 :func:`~repro.harness.sweep.execute_cell` semantics, the parent remains
 the sole journal writer, results merge in **enumeration order** (so a
@@ -42,7 +55,8 @@ tracer spans graft under the parent's sweep span. Supervisor events —
 — are parent-side tracer instants, and none of the fault bookkeeping
 (worker names, crash counts for cells that eventually complete) leaks
 into the journal: a cell that survives a worker kill journals the same
-bytes a clean run writes.
+bytes a clean run writes — and so does a cell that ran on a reused
+warm worker instead of a fresh one.
 
 Shutdown semantics (the old pool got this wrong): on the clean path
 workers are asked to exit (sentinel task), then joined — the
@@ -54,7 +68,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -68,12 +84,14 @@ from .sweep import CellRecord, execute_cell
 
 @dataclass(frozen=True)
 class SupervisorPolicy:
-    """Parent-side supervision knobs, one value object per sweep.
+    """Parent-side supervision knobs, one value object per pool.
 
     Distinct from :class:`~repro.harness.sweep.CellPolicy` on purpose:
     the cell policy travels *into* workers and defines what a cell
     records; this policy stays in the parent and defines what happens
-    to the worker processes around it.
+    to the worker processes around it. ``wall_deadline_s`` is the pool
+    default — :meth:`SupervisorPool.submit` may override it per task
+    (the serving layer's per-request deadlines ride on that).
     """
 
     #: Real-seconds budget per cell dispatch; None = no wall deadline.
@@ -196,15 +214,17 @@ class _BallooningExecute:
         return self.execute(key, budget_s=budget_s)
 
 
-def _worker_main(task_conn, result_conn, execute, policy, traced, sleep,
-                 memory_limit_bytes, plan) -> None:
-    """Long-lived worker loop: recv task, run cell, send record.
+def _worker_main(task_conn, result_conn, memory_limit_bytes) -> None:
+    """Long-lived *generic* worker loop: recv task, run cell, send record.
 
-    The parent owns shutdown: SIGINT is ignored (a terminal Ctrl-C hits
-    the whole process group; the parent's drain logic decides what it
-    means), and the loop exits on the ``None`` sentinel or on EOF —
-    which also covers a dead parent, so SIGKILLing the sweep never
-    leaks orphan workers.
+    Each task frame carries its own executor, cell policy and chaos
+    plan (pickled by the parent), so one worker serves back-to-back
+    sweeps — and the serving layer's mixed request stream — without
+    restarting. The parent owns shutdown: SIGINT is ignored (a terminal
+    Ctrl-C hits the whole process group; the parent's drain logic
+    decides what it means), and the loop exits on the empty sentinel
+    frame or on EOF — which also covers a dead parent, so SIGKILLing
+    the sweep never leaks orphan workers.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -214,12 +234,13 @@ def _worker_main(task_conn, result_conn, execute, policy, traced, sleep,
         _apply_memory_limit(memory_limit_bytes)
     while True:
         try:
-            task = task_conn.recv()
+            frame = task_conn.recv_bytes()
         except (EOFError, OSError):
             break
-        if task is None:
+        if not frame:
             break
-        index, key, cid, crashes = task
+        (ticket_id, index, key, _cid, crashes, execute, policy, traced,
+         sleep, plan) = pickle.loads(frame)
         run_execute = execute
         if plan is not None:
             if plan.kill_now(index, crashes):
@@ -235,7 +256,7 @@ def _worker_main(task_conn, result_conn, execute, policy, traced, sleep,
                               sleep=sleep)
         spans = list(tracer.spans) if traced else []
         try:
-            result_conn.send((index, cid, record, spans))
+            result_conn.send((ticket_id, record, spans))
         except (BrokenPipeError, OSError):
             break
 
@@ -245,31 +266,117 @@ def _worker_main(task_conn, result_conn, execute, policy, traced, sleep,
 # ---------------------------------------------------------------------------
 
 
+class Ticket:
+    """A submitted cell's completion handle.
+
+    Returned by :meth:`SupervisorPool.submit`; completed exactly once
+    with a :class:`CompletedCell` (or an error if the pool dies under
+    it). ``wait`` blocks the caller; ``add_done_callback`` runs on the
+    supervision thread — keep callbacks tiny (the serving layer uses
+    them to hop results onto its event loop).
+    """
+
+    _COUNTER = [0]
+    _COUNTER_LOCK = threading.Lock()
+
+    def __init__(self, index, key, cid):
+        with Ticket._COUNTER_LOCK:
+            Ticket._COUNTER[0] += 1
+            self.id = Ticket._COUNTER[0]
+        self.index = index
+        self.key = key
+        self.cid = cid
+        self.cell = None          # CompletedCell once done
+        self.error = None         # exception if the pool failed this task
+        self.cancelled = False
+        self._event = threading.Event()
+        self._callbacks = []
+        self._lock = threading.Lock()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout=None):
+        """Block for the result; ``None`` on timeout, raises pool errors."""
+        if not self._event.wait(timeout):
+            return None
+        if self.error is not None:
+            raise self.error
+        return self.cell
+
+    def add_done_callback(self, fn) -> None:
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _finish(self, cell=None, error=None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self.cell = cell
+            self.error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class _Task:
+    """Parent-side dispatch state for one submitted cell."""
+
+    __slots__ = ("ticket", "index", "key", "cid", "crashes", "execute",
+                 "policy", "traced", "sleep", "plan", "wall_deadline_s",
+                 "tracer", "stats")
+
+    def __init__(self, ticket, execute, policy, traced, sleep, plan,
+                 wall_deadline_s, tracer, stats):
+        self.ticket = ticket
+        self.index = ticket.index
+        self.key = ticket.key
+        self.cid = ticket.cid
+        self.crashes = 0
+        self.execute = execute
+        self.policy = policy
+        self.traced = traced
+        self.sleep = sleep
+        self.plan = plan
+        self.wall_deadline_s = wall_deadline_s
+        self.tracer = tracer
+        self.stats = stats
+
+    def frame(self) -> bytes:
+        return pickle.dumps((self.ticket.id, self.index, self.key, self.cid,
+                             self.crashes, self.execute, self.policy,
+                             self.traced, self.sleep, self.plan))
+
+
 class _WorkerHandle:
     """One supervised worker: process + its two pipe endpoints."""
 
-    def __init__(self, context, name, init_args):
+    def __init__(self, context, name, memory_limit_bytes):
         task_recv, self.task_conn = context.Pipe(duplex=False)
         self.result_conn, result_send = context.Pipe(duplex=False)
         self.process = context.Process(
             target=_worker_main, name=name,
-            args=(task_recv, result_send) + init_args, daemon=True)
+            args=(task_recv, result_send, memory_limit_bytes), daemon=True)
         self.process.start()
         # Close the child's ends in the parent so a dead worker reads
         # as EOF on result_conn instead of blocking forever.
         task_recv.close()
         result_send.close()
         self.name = name
-        self.inflight = None          # (index, key, cid) or None
+        self.inflight = None          # _Task or None
         self.deadline_at = None       # monotonic seconds, or None
         self.killed_for_timeout = False
 
-    def dispatch(self, task, crashes: int, wall_deadline_s) -> None:
-        self.task_conn.send(tuple(task) + (crashes,))
+    def dispatch(self, task: _Task) -> None:
+        self.task_conn.send_bytes(task.frame())
         self.inflight = task
         self.killed_for_timeout = False
-        self.deadline_at = time.monotonic() + wall_deadline_s \
-            if wall_deadline_s is not None else None
+        self.deadline_at = time.monotonic() + task.wall_deadline_s \
+            if task.wall_deadline_s is not None else None
 
     def settle(self) -> None:
         self.inflight = None
@@ -284,9 +391,369 @@ class _WorkerHandle:
                 pass
 
 
+#: Sentinel: "use the pool policy's wall deadline" (None means "none").
+POOL_DEADLINE = object()
+
+
+class SupervisorPool:
+    """A long-lived supervised worker pool reused across submissions.
+
+    ``start()`` spins up the supervision thread (workers spawn lazily,
+    up to ``jobs``, as tasks arrive); ``submit()`` enqueues one cell and
+    returns a :class:`Ticket`; ``drain()`` blocks until everything
+    submitted so far has settled; ``close()`` shuts the pool down —
+    cleanly (sentinel + join) by default, ``force=True`` terminates.
+
+    All supervision — dispatch, death detection, restart, poison
+    quarantine, wall-deadline kills — happens on one internal thread,
+    so ``submit`` is safe from any thread (the serving layer calls it
+    from an asyncio loop, sweeps from worker threads). Fault accounting
+    lands both in the pool-wide :attr:`stats` (the server's ``/stats``)
+    and in the per-submission ``stats`` object passed to ``submit``.
+    """
+
+    def __init__(self, jobs, supervise=None, tracer=None, context=None):
+        self.jobs = max(int(jobs), 1)
+        self.supervise = supervise if supervise is not None \
+            else SupervisorPolicy()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = SupervisorStats()
+        self._context = context
+        self._lock = threading.RLock()
+        self._idle = threading.Condition(self._lock)
+        self._queue = deque()         # _Task awaiting (re-)dispatch
+        self._workers = []
+        self._spawned = 0
+        self._started = False
+        self._closing = False
+        self._force = False
+        self._thread = None
+        self._wake_recv = None
+        self._wake_send = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "SupervisorPool":
+        with self._lock:
+            if self._started:
+                return self
+            if self._context is None:
+                self._context = _mp_context()
+            self._wake_recv, self._wake_send = self._context.Pipe(
+                duplex=False)
+            self._started = True
+            self._thread = threading.Thread(
+                target=self._run, name="sweep-supervisor", daemon=True)
+            self._thread.start()
+        return self
+
+    def submit(self, key, cid, execute, policy, *, index=0, traced=False,
+               sleep=None, plan=None, wall_deadline_s=POOL_DEADLINE,
+               tracer=None, stats=None) -> Ticket:
+        """Enqueue one cell; returns its completion :class:`Ticket`.
+
+        ``wall_deadline_s`` overrides the pool policy's default per
+        task (pass ``None`` for "no deadline" explicitly). ``tracer``
+        and ``stats`` scope fault events to this submission; the
+        pool-wide accounting is updated regardless.
+        """
+        if not self._started or self._closing:
+            raise ReproError("SupervisorPool.submit on a pool that is "
+                             "not running (call start(), not after close())")
+        ticket = Ticket(index, key, cid)
+        if wall_deadline_s is POOL_DEADLINE:
+            wall_deadline_s = self.supervise.wall_deadline_s
+        task = _Task(ticket, execute, policy, traced, sleep, plan,
+                     wall_deadline_s,
+                     tracer if tracer is not None else NULL_TRACER,
+                     stats if stats is not None else SupervisorStats())
+        try:
+            task.frame()              # surface pickling errors here,
+        except Exception as error:    # in the submitting thread
+            if _looks_like_pickling_error(error):
+                raise ReproError(
+                    "supervised sweeps need picklable cell keys and a "
+                    "picklable executor (module-level function, not a "
+                    f"closure); run with jobs=1: {error}") from error
+            raise
+        with self._lock:
+            self._queue.append(task)
+        self._wake()
+        return ticket
+
+    def cancel(self, tickets) -> None:
+        """Abandon submissions: queued tasks drop, in-flight results drop.
+
+        Cancelled tickets never complete — callers must not ``wait`` on
+        them afterwards. Workers stay alive for the next submission
+        (an in-flight cell finishes and its result is discarded),
+        mirroring the drain contract: nothing cancelled reaches a
+        journal.
+        """
+        wanted = {ticket.id for ticket in tickets}
+        with self._lock:
+            for task in list(self._queue):
+                if task.ticket.id in wanted:
+                    self._queue.remove(task)
+                    task.ticket.cancelled = True
+            for worker in self._workers:
+                if worker.inflight is not None \
+                        and worker.inflight.ticket.id in wanted:
+                    worker.inflight.ticket.cancelled = True
+            if not self._outstanding_locked():
+                self._idle.notify_all()
+        self._wake()
+
+    def drain(self, timeout=None) -> bool:
+        """Block until every submitted task settled; False on timeout."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._idle:
+            while self._outstanding_locked():
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining
+                                if remaining is not None else 0.5)
+        return True
+
+    def close(self, force: bool = False) -> None:
+        """Shut down: clean close finishes queued work first,
+        ``force=True`` drops the queue and terminates workers."""
+        with self._lock:
+            if not self._started:
+                return
+            self._closing = True
+            self._force = self._force or force
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        with self._lock:
+            for conn in (self._wake_recv, self._wake_send):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            self._wake_recv = self._wake_send = None
+
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding_locked()
+
+    @property
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(1 for worker in self._workers
+                       if worker.process.is_alive())
+
+    # -- internals (supervision thread) -------------------------------
+
+    def _wake(self) -> None:
+        with self._lock:
+            send = self._wake_send
+        if send is None:
+            return
+        try:
+            send.send_bytes(b"w")
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _outstanding_locked(self) -> int:
+        return len(self._queue) + sum(
+            1 for worker in self._workers if worker.inflight is not None)
+
+    def _bump(self, task, field) -> None:
+        setattr(self.stats, field, getattr(self.stats, field) + 1)
+        if task is not None and task.stats is not self.stats:
+            setattr(task.stats, field, getattr(task.stats, field) + 1)
+
+    def _start_worker(self) -> _WorkerHandle:
+        self._spawned += 1
+        worker = _WorkerHandle(self._context,
+                               f"sweep-worker-{self._spawned}",
+                               self.supervise.memory_limit_bytes)
+        self._workers.append(worker)
+        return worker
+
+    def _ensure_workers_locked(self) -> None:
+        want = min(self.jobs, self._outstanding_locked())
+        while len(self._workers) < want:
+            self._start_worker()
+
+    def _dispatch_locked(self) -> None:
+        for worker in self._workers:
+            if worker.inflight is None and self._queue:
+                worker.dispatch(self._queue.popleft())
+
+    def _complete(self, worker, payload) -> None:
+        ticket_id, record, spans = payload
+        task = worker.inflight
+        worker.settle()
+        if task is None or task.ticket.id != ticket_id:
+            return                    # stale frame from a raced dispatch
+        if task.ticket.cancelled:
+            return
+        task.ticket._finish(cell=CompletedCell(
+            index=task.index, cid=task.cid, record=record, spans=spans,
+            worker=worker.name))
+
+    def _reap(self, worker) -> None:
+        """A worker died: classify, re-dispatch or quarantine, restart."""
+        worker.process.join()
+        exitcode = worker.process.exitcode
+        task = worker.inflight
+        self._workers.remove(worker)
+        worker.close()
+        if task is not None:
+            if task.ticket.cancelled:
+                pass                  # abandoned mid-flight: drop it
+            elif worker.killed_for_timeout:
+                self._bump(task, "wall_timeouts")
+                task.tracer.instant(
+                    "wall-timeout", worker=worker.name,
+                    wall_deadline_s=task.wall_deadline_s, **task.key)
+                record = CellRecord(
+                    task.key, STATUS_TIMEOUT, wall_clock=True,
+                    failure=f"wall-clock deadline of "
+                            f"{task.wall_deadline_s:g} s exceeded; "
+                            "worker killed")
+                task.ticket._finish(cell=CompletedCell(
+                    index=task.index, cid=task.cid, record=record,
+                    spans=[], worker=worker.name))
+            else:
+                task.crashes += 1
+                if task.crashes >= self.supervise.max_crashes:
+                    self._bump(task, "poisoned")
+                    task.tracer.instant(
+                        "poison-quarantine", worker=worker.name,
+                        crashes=task.crashes,
+                        exit=describe_exit(exitcode), **task.key)
+                    record = CellRecord(
+                        task.key, STATUS_CRASHED, attempts=task.crashes,
+                        quarantined=True,
+                        failure=f"cell killed its worker {task.crashes} "
+                                f"time(s); quarantined as poison "
+                                f"(last death: {describe_exit(exitcode)})")
+                    task.ticket._finish(cell=CompletedCell(
+                        index=task.index, cid=task.cid, record=record,
+                        spans=[], worker=worker.name))
+                else:
+                    self._queue.appendleft(task)
+        if self._queue and len(self._workers) < self.jobs \
+                and not self._force:
+            replacement = self._start_worker()
+            self._bump(task, "restarts")
+            (task.tracer if task is not None else self.tracer).instant(
+                "worker-restart", worker=replacement.name,
+                after=describe_exit(exitcode), replaces=worker.name)
+
+    def _run(self) -> None:
+        try:
+            self._supervise_loop()
+        except Exception as error:  # pragma: no cover - defensive
+            self._fail_all(error)
+            with self._lock:
+                workers, self._workers = list(self._workers), []
+            _shutdown(workers, clean=False)
+            return
+        with self._lock:
+            clean = not self._force
+            workers, self._workers = list(self._workers), []
+            if self._force:
+                abandoned = list(self._queue)
+                self._queue.clear()
+                for worker in workers:
+                    if worker.inflight is not None:
+                        abandoned.append(worker.inflight)
+                        worker.inflight = None
+                error = ReproError("supervisor pool closed before the "
+                                   "cell completed")
+                for task in abandoned:
+                    if not task.ticket.cancelled:
+                        task.ticket._finish(error=error)
+            self._idle.notify_all()
+        _shutdown(workers, clean)
+
+    def _fail_all(self, error) -> None:
+        with self._lock:
+            tasks = list(self._queue)
+            self._queue.clear()
+            for worker in self._workers:
+                if worker.inflight is not None:
+                    tasks.append(worker.inflight)
+                    worker.inflight = None
+            for task in tasks:
+                task.ticket._finish(error=error)
+            self._idle.notify_all()
+
+    def _supervise_loop(self) -> None:
+        heartbeat = self.supervise.heartbeat_s
+        while True:
+            with self._lock:
+                if self._closing and (self._force
+                                      or not self._outstanding_locked()):
+                    return
+                self._ensure_workers_locked()
+                self._dispatch_locked()
+                workers = list(self._workers)
+                wake = self._wake_recv
+                timeout = heartbeat
+                now = time.monotonic()
+                for worker in workers:
+                    if worker.deadline_at is not None:
+                        timeout = min(timeout,
+                                      max(0.0, worker.deadline_at - now))
+            ready = set(connection.wait(
+                [worker.result_conn for worker in workers]
+                + [worker.process.sentinel for worker in workers]
+                + ([wake] if wake is not None else []),
+                timeout=timeout))
+            if wake is not None and wake in ready:
+                try:
+                    while wake.poll():
+                        wake.recv_bytes()
+                except (EOFError, OSError):
+                    pass
+            with self._lock:
+                for worker in workers:
+                    if worker in self._workers \
+                            and worker.result_conn in ready:
+                        try:
+                            self._complete(worker,
+                                           worker.result_conn.recv())
+                        except (EOFError, OSError):
+                            pass      # death raced the recv; reap below
+                for worker in workers:
+                    if worker in self._workers \
+                            and worker.process.sentinel in ready \
+                            and not worker.process.is_alive():
+                        # Accept a result that raced the death before
+                        # declaring the cell crashed.
+                        try:
+                            if worker.result_conn.poll():
+                                self._complete(worker,
+                                               worker.result_conn.recv())
+                        except (EOFError, OSError):
+                            pass
+                        self._reap(worker)
+                # Enforce wall-clock deadlines on the survivors.
+                now = time.monotonic()
+                for worker in self._workers:
+                    if worker.deadline_at is not None \
+                            and now >= worker.deadline_at \
+                            and not worker.killed_for_timeout:
+                        if worker.result_conn.poll():
+                            continue  # finished just in time
+                        worker.killed_for_timeout = True
+                        worker.process.kill()
+                if not self._outstanding_locked():
+                    self._idle.notify_all()
+
+
 def run_cells_supervised(pending, execute, policy, jobs, supervise=None,
                          traced=False, sleep=None, tracer=None, plan=None,
-                         stats=None):
+                         stats=None, pool=None, stop=None):
     """Yield :class:`CompletedCell` for ``pending`` in enumeration order.
 
     ``pending`` is a list of ``(index, key, cid)`` triples; ``policy``
@@ -297,6 +764,14 @@ def run_cells_supervised(pending, execute, policy, jobs, supervise=None,
     :class:`SupervisorStats` the caller reads afterwards. Workers pull
     cells greedily while this generator yields strictly in submission
     order — the property the byte-identical-journal guarantee rests on.
+
+    ``pool`` reuses an externally owned, already-started
+    :class:`SupervisorPool` (warm workers persist afterwards; the
+    pool's ``max_crashes`` / ``memory_limit_bytes`` apply, while this
+    call's ``wall_deadline_s`` rides along per task). ``stop`` is a
+    cooperative drain probe for non-main threads where signal handlers
+    cannot be installed: a callable returning a truthy signal number to
+    drain, checked once per heartbeat.
     """
     supervise = supervise if supervise is not None else SupervisorPolicy()
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -304,17 +779,7 @@ def run_cells_supervised(pending, execute, policy, jobs, supervise=None,
     pending = [tuple(task) for task in pending]
     if not pending:
         return
-    context = _mp_context()
-    init_args = (execute, policy, traced, sleep,
-                 supervise.memory_limit_bytes, plan)
-
-    queue = deque(pending)            # tasks awaiting (re-)dispatch
-    crash_counts = {}                 # cid -> worker deaths so far
-    buffered = {}                     # index -> CompletedCell
-    order = [index for index, _key, _cid in pending]
-    head = 0                          # next position in `order` to yield
-    workers = []
-    spawned = 0
+    owned = pool is None
     drain_signal = [None]             # set by the signal handlers
 
     def _drain_handler(signum, _frame):
@@ -326,153 +791,51 @@ def run_cells_supervised(pending, execute, policy, jobs, supervise=None,
         except (ValueError, OSError):
             return None               # not the main thread
 
-    def _start_worker():
-        nonlocal spawned
-        spawned += 1
-        try:
-            worker = _WorkerHandle(context, f"sweep-worker-{spawned}",
-                                   init_args)
-        except Exception as error:
-            if _looks_like_pickling_error(error):
-                raise ReproError(
-                    "supervised sweeps need a picklable executor on "
-                    "this platform (module-level function, not a "
-                    "closure); run with jobs=1 or use the 'fork' start "
-                    f"method: {error}") from error
-            raise
-        workers.append(worker)
-        return worker
-
-    def _complete(worker, payload) -> None:
-        index, cid, record, spans = payload
-        buffered[index] = CompletedCell(index=index, cid=cid,
-                                        record=record, spans=spans,
-                                        worker=worker.name)
-        worker.settle()
-
-    def _reap(worker) -> None:
-        """A worker died: classify, re-dispatch or quarantine, restart."""
-        worker.process.join()
-        exitcode = worker.process.exitcode
-        task = worker.inflight
-        workers.remove(worker)
-        worker.close()
-        if task is not None:
-            index, key, cid = task
-            if worker.killed_for_timeout:
-                stats.wall_timeouts += 1
-                tracer.instant(
-                    "wall-timeout", worker=worker.name,
-                    wall_deadline_s=supervise.wall_deadline_s, **key)
-                record = CellRecord(
-                    key, STATUS_TIMEOUT, wall_clock=True,
-                    failure=f"wall-clock deadline of "
-                            f"{supervise.wall_deadline_s:g} s exceeded; "
-                            "worker killed")
-                buffered[index] = CompletedCell(
-                    index=index, cid=cid, record=record, spans=[],
-                    worker=worker.name)
-            else:
-                crashes = crash_counts.get(cid, 0) + 1
-                crash_counts[cid] = crashes
-                if crashes >= supervise.max_crashes:
-                    stats.poisoned += 1
-                    tracer.instant("poison-quarantine", worker=worker.name,
-                                   crashes=crashes,
-                                   exit=describe_exit(exitcode), **key)
-                    record = CellRecord(
-                        key, STATUS_CRASHED, attempts=crashes,
-                        quarantined=True,
-                        failure=f"cell killed its worker {crashes} "
-                                f"time(s); quarantined as poison "
-                                f"(last death: {describe_exit(exitcode)})")
-                    buffered[index] = CompletedCell(
-                        index=index, cid=cid, record=record, spans=[],
-                        worker=worker.name)
-                else:
-                    queue.appendleft(task)
-        if queue and len(workers) < jobs:
-            replacement = _start_worker()
-            stats.restarts += 1
-            tracer.instant("worker-restart", worker=replacement.name,
-                           after=describe_exit(exitcode),
-                           replaces=worker.name)
+    def _requested_drain():
+        if drain_signal[0] is not None:
+            return drain_signal[0]
+        if stop is not None:
+            signum = stop()
+            if signum:
+                return signal.SIGTERM if signum is True else signum
+        return None
 
     old_int = _install(signal.SIGINT, _drain_handler)
     old_term = _install(signal.SIGTERM, _drain_handler)
     clean = False
+    tickets = []
+    if owned:
+        pool = SupervisorPool(jobs, supervise=supervise,
+                              tracer=tracer).start()
     try:
-        for _ in range(min(max(jobs, 1), len(pending))):
-            _start_worker()
-        while head < len(order):
-            if drain_signal[0] is not None:
-                # Drain: everything merged so far is already yielded
-                # (and journaled by the caller); in-flight cells simply
-                # stay pending for --resume.
-                still_pending = len(order) - head
-                tracer.instant("drain", signum=drain_signal[0],
-                               pending=still_pending)
-                raise SweepInterrupted(drain_signal[0], still_pending)
-            # Dispatch work to idle workers.
-            for worker in workers:
-                if worker.inflight is None and queue:
-                    task = queue.popleft()
-                    crashes = crash_counts.get(task[2], 0)
-                    try:
-                        worker.dispatch(task, crashes,
-                                        supervise.wall_deadline_s)
-                    except Exception as error:
-                        if _looks_like_pickling_error(error):
-                            raise ReproError(
-                                "supervised sweeps need picklable cell "
-                                f"keys: {error}") from error
-                        raise
-            # Heartbeat: wake on a result, a death, or the nearest
-            # wall deadline — whichever comes first.
-            timeout = supervise.heartbeat_s
-            now = time.monotonic()
-            for worker in workers:
-                if worker.deadline_at is not None:
-                    timeout = min(timeout,
-                                  max(0.0, worker.deadline_at - now))
-            ready = set(connection.wait(
-                [worker.result_conn for worker in workers]
-                + [worker.process.sentinel for worker in workers],
-                timeout=timeout))
-            for worker in list(workers):
-                if worker.result_conn in ready:
-                    try:
-                        _complete(worker, worker.result_conn.recv())
-                    except (EOFError, OSError):
-                        pass          # death raced the recv; reap below
-            for worker in list(workers):
-                if worker.process.sentinel in ready \
-                        and not worker.process.is_alive():
-                    # Accept a result that raced the death before
-                    # declaring the cell crashed.
-                    try:
-                        if worker.result_conn.poll():
-                            _complete(worker, worker.result_conn.recv())
-                    except (EOFError, OSError):
-                        pass
-                    _reap(worker)
-            # Enforce wall-clock deadlines on the survivors.
-            now = time.monotonic()
-            for worker in workers:
-                if worker.deadline_at is not None \
-                        and now >= worker.deadline_at \
-                        and not worker.killed_for_timeout:
-                    if worker.result_conn.poll():
-                        continue      # finished just in time
-                    worker.killed_for_timeout = True
-                    worker.process.kill()
-            # Yield the merged enumeration-order prefix.
-            while head < len(order) and order[head] in buffered:
-                yield buffered.pop(order[head])
-                head += 1
+        for index, key, cid in pending:
+            tickets.append(pool.submit(
+                key, cid, execute, policy, index=index, traced=traced,
+                sleep=sleep, plan=plan,
+                wall_deadline_s=supervise.wall_deadline_s,
+                tracer=tracer, stats=stats))
+        heartbeat = supervise.heartbeat_s
+        for position, ticket in enumerate(tickets):
+            while True:
+                signum = _requested_drain()
+                if signum is not None:
+                    # Drain: everything merged so far is already
+                    # yielded (and journaled by the caller); in-flight
+                    # cells simply stay pending for --resume.
+                    still_pending = len(tickets) - position
+                    tracer.instant("drain", signum=signum,
+                                   pending=still_pending)
+                    raise SweepInterrupted(signum, still_pending)
+                cell = ticket.wait(heartbeat)
+                if cell is not None:
+                    break
+            yield cell
         clean = True
     finally:
-        _shutdown(workers, clean)
+        if owned:
+            pool.close(force=not clean)
+        elif not clean:
+            pool.cancel(tickets)
         if old_int is not None:
             signal.signal(signal.SIGINT, old_int)
         if old_term is not None:
@@ -484,7 +847,7 @@ def _shutdown(workers, clean: bool) -> None:
     for worker in workers:
         if clean:
             try:
-                worker.task_conn.send(None)
+                worker.task_conn.send_bytes(b"")
             except (BrokenPipeError, OSError):
                 pass
         else:
@@ -508,8 +871,6 @@ def _looks_like_pickling_error(error) -> bool:
     real bug is never mislabelled with a misleading "run with jobs=1"
     hint.
     """
-    import pickle
-
     if isinstance(error, pickle.PicklingError):
         return True
     return isinstance(error, TypeError) and "pickle" in str(error).lower()

@@ -490,7 +490,8 @@ class Sweep:
                  backoff_base_s: float = 0.5, backoff_cap_s: float = 8.0,
                  sleep=None, tracer=None, jobs=None,
                  wall_deadline_s: float = None, max_crashes: int = 2,
-                 memory_limit_mb: float = None, real_chaos=None):
+                 memory_limit_mb: float = None, real_chaos=None,
+                 pool=None, stop=None, on_cell=None):
         from ..chaos.real import resolve_real_chaos
 
         if max_retries < 0:
@@ -517,6 +518,16 @@ class Sweep:
         self.max_crashes = max_crashes
         self.memory_limit_mb = memory_limit_mb
         self.real_chaos = resolve_real_chaos(real_chaos)
+        #: Externally owned, already-started SupervisorPool to reuse
+        #: (warm workers persist across runs); None = own a fresh pool.
+        self.pool = pool
+        #: Cooperative drain probe for non-main threads (returns a
+        #: truthy signal number to drain) — the serving layer's SIGTERM
+        #: path, where real signal handlers cannot be installed.
+        self.stop = stop
+        #: Optional per-record hook, called after each cell is merged
+        #: (and journaled): ``on_cell(record)``.
+        self.on_cell = on_cell
         self.last = None
 
     def policy(self) -> CellPolicy:
@@ -549,6 +560,8 @@ class Sweep:
 
     def effective_jobs(self) -> int:
         """The worker count ``run`` will use (resolves ``jobs=0``)."""
+        if self.pool is not None:
+            return self.pool.jobs
         if self.jobs == 0:
             return os.cpu_count() or 1
         return self.jobs or 1
@@ -606,6 +619,7 @@ class Sweep:
                     else:
                         pending.append((index, key, cid))
                 if pending and (self.supervised()
+                                or self.pool is not None
                                 or (jobs > 1 and len(pending) > 1)):
                     self._run_parallel(pending, execute, jobs, len(keys),
                                        records, result, journal)
@@ -616,6 +630,8 @@ class Sweep:
                         result.executed += 1
                         if journal is not None:
                             journal.append(record)
+                        if self.on_cell is not None:
+                            self.on_cell(record)
         finally:
             if journal is not None:
                 journal.close()
@@ -671,12 +687,14 @@ class Sweep:
                     pending, execute, self.policy(), jobs,
                     supervise=supervise, traced=self.tracer.enabled,
                     sleep=self.sleep, tracer=self.tracer, plan=plan,
-                    stats=stats):
+                    stats=stats, pool=self.pool, stop=self.stop):
                 records[cell.cid] = cell.record
                 result.executed += 1
                 self.tracer.merge_spans(cell.spans, worker=cell.worker)
                 if journal is not None:
                     journal.append(cell.record)
+                if self.on_cell is not None:
+                    self.on_cell(cell.record)
         finally:
             result.worker_restarts += stats.restarts
             result.wall_timeouts += stats.wall_timeouts

@@ -298,11 +298,14 @@ def table5(frameworks=TABLE_FRAMEWORKS, algorithms=ALGORITHMS,
     frameworks = tuple(frameworks)
     algorithms = tuple(algorithms)
     engine = sweep if sweep is not None else Sweep("table5")
+    # The native baseline is always swept; asking for it explicitly
+    # must not enumerate the cell twice.
+    swept = ("native",) + tuple(f for f in frameworks if f != "native")
     cells = [
         {"algorithm": algorithm, "dataset": dataset_name, "framework": name}
         for algorithm in algorithms
         for dataset_name in SINGLE_NODE_DATASETS[algorithm]
-        for name in ("native",) + frameworks
+        for name in swept
     ]
     result = engine.run(cells, _single_node_cell)
     return _slowdown_table(result, algorithms, frameworks, "dataset",
@@ -318,11 +321,12 @@ def table6(frameworks=MULTI_NODE_FRAMEWORKS, algorithms=ALGORITHMS,
     frameworks = tuple(frameworks)
     algorithms = tuple(algorithms)
     engine = sweep if sweep is not None else Sweep("table6")
+    swept = ("native",) + tuple(f for f in frameworks if f != "native")
     cells = [
         {"algorithm": algorithm, "nodes": nodes, "framework": name}
         for algorithm in algorithms
         for nodes in node_counts
-        for name in ("native",) + frameworks
+        for name in swept
     ]
     result = engine.run(cells, _weak_scaling_cell)
     return _slowdown_table(result, algorithms, frameworks, "nodes",

@@ -42,6 +42,7 @@ from .report import (
     render_attribution,
     render_gate,
     render_parallel,
+    render_serve,
     render_roofline,
 )
 
@@ -78,6 +79,7 @@ __all__ = [
     "render_gate",
     "render_kernel_report",
     "render_parallel",
+    "render_serve",
     "render_roofline",
     "roofline_of",
     "roofline_of_run",

@@ -252,12 +252,16 @@ def render_kernel_report(report: dict) -> str:
 
 def record(path=DEFAULT_BASELINE, algorithms=None,
            frameworks=GATE_FRAMEWORKS, node_counts=GATE_NODE_COUNTS,
-           benchmarks=(), parallel_jobs=None) -> dict:
+           benchmarks=(), parallel_jobs=None, serve=None) -> dict:
     """Measure every gate cell and write the baseline file.
 
     The ``cells`` section is deterministic, so recording twice on an
     unchanged tree produces byte-identical data; ``benchmarks`` names
     add advisory wall-clock entries (nondeterministic by nature).
+    ``serve`` attaches a serving-layer load report (from
+    :func:`repro.serve.loadgen.run_loadgen` plus the warm/cold
+    comparison) as another advisory section — checked runs pass it
+    through verbatim rather than re-driving a server.
     """
     from ..algorithms.registry import ALGORITHMS
 
@@ -275,6 +279,8 @@ def record(path=DEFAULT_BASELINE, algorithms=None,
     }
     if parallel_jobs is not None:        # 0 means "all cores"
         payload["parallel"] = measure_parallel_sweep(parallel_jobs)
+    if serve is not None:
+        payload["serve"] = serve
     atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True)
                       + "\n")
     return payload
@@ -336,6 +342,7 @@ class GateReport:
     checks: list = field(default_factory=list)
     wall_clock: dict = field(default_factory=dict)
     parallel: dict = field(default_factory=dict)
+    serve: dict = field(default_factory=dict)
     injected: dict = field(default_factory=dict)
 
     @property
@@ -366,6 +373,7 @@ class GateReport:
             "improvements": [check.to_dict() for check in self.improvements],
             "wall_clock": self.wall_clock,
             "parallel": self.parallel,
+            "serve": self.serve,
             "injected": self.injected,
         }
 
@@ -430,7 +438,9 @@ def check(path=DEFAULT_BASELINE, tolerance: float = DEFAULT_TOLERANCE,
                    "advisory": True}
             for name in sorted(recorded_wall)
         }
-    # Recorded pool-overhead/speedup report, passed through verbatim:
-    # wall-clock numbers from record time, advisory by definition.
+    # Recorded pool-overhead/speedup and serving-layer load reports,
+    # passed through verbatim: wall-clock numbers from record time,
+    # advisory by definition.
     report.parallel = baseline.get("parallel", {})
+    report.serve = baseline.get("serve", {})
     return report

@@ -87,6 +87,24 @@ def render_parallel(entry: dict) -> str:
             f"no-op cells; advisory)")
 
 
+def render_serve(entry: dict) -> str:
+    """One-line serving-layer load summary (loadgen + warm/cold)."""
+    load = entry.get("loadgen", {})
+    parts = [f"serve     loadgen: {load.get('completed', 0)}/"
+             f"{load.get('requests', 0)} ok at "
+             f"{load.get('throughput_rps', 0.0):.1f} req/s"]
+    latency = load.get("latency_s")
+    if latency:
+        parts.append(f"p50 {1e3 * latency['p50_s']:.1f} ms / "
+                     f"p99 {1e3 * latency['p99_s']:.1f} ms")
+    warm_cold = entry.get("warm_cold", {})
+    if warm_cold:
+        parts.append(f"warm/cold {warm_cold.get('min_speedup', 0.0):.1f}x "
+                     f"({warm_cold.get('cache_hits', {}).get('pinned', 0)} "
+                     f"pinned cache hits)")
+    return ", ".join(parts) + " (advisory)"
+
+
 def render_gate(report) -> str:
     """Pass/fail summary naming every out-of-tolerance cell."""
     lines = [f"perf gate vs {report.path} "
@@ -115,6 +133,8 @@ def render_gate(report) -> str:
                      f"{entry['current_s']:.2f} s (advisory)")
     if report.parallel:
         lines.append("  " + render_parallel(report.parallel))
+    if report.serve:
+        lines.append("  " + render_serve(report.serve))
     lines.append("PASS: no cell regressed" if report.ok else
                  f"FAIL: {len(report.regressions)} cell(s) regressed")
     return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""A tiny asyncio HTTP/JSON client for the experiment service.
+
+No third-party HTTP stack exists in this environment, and the service
+speaks a deliberately small dialect (JSON bodies, explicit
+``Content-Length``, keep-alive), so forty lines of stream handling
+cover everything the load generator, the CLI and the tests need. One
+:class:`ServeClient` holds one keep-alive connection; concurrency
+comes from opening several clients (the load generator opens one per
+simulated user).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..errors import ReproError
+
+
+class ServeClient:
+    """One keep-alive connection to a running ``repro serve``."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._reader = None
+        self._writer = None
+
+    async def _connect(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, method: str, path: str, body=None):
+        """One round trip; returns ``(status, payload_dict)``.
+
+        Reconnects once on a dropped keep-alive connection (the server
+        may have closed it between requests).
+        """
+        for attempt in (1, 2):
+            await self._connect()
+            try:
+                return await asyncio.wait_for(
+                    self._round_trip(method, path, body), self.timeout_s)
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.IncompleteReadError):
+                await self.close()
+                if attempt == 2:
+                    raise ReproError(
+                        f"connection to {self.host}:{self.port} dropped "
+                        f"during {method} {path}") from None
+
+    async def _round_trip(self, method: str, path: str, body):
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n")
+        self._writer.write(head.encode("latin-1") + payload)
+        await self._writer.drain()
+        status, headers = await self._read_head()
+        length = int(headers.get("content-length", 0) or 0)
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"raw": raw.decode("utf-8", "replace")}
+        return status, decoded
+
+    async def _read_head(self):
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ReproError(
+                f"malformed status line from server: {status_line!r}")
+        headers = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return int(parts[1]), headers
+
+    async def stream_events(self, job_id: str):
+        """Yield NDJSON event dicts from ``GET /jobs/<id>/events``.
+
+        Uses a dedicated connection (the stream never keep-alives).
+        """
+        reader, writer = await asyncio.open_connection(self.host,
+                                                       self.port)
+        try:
+            head = (f"GET /jobs/{job_id}/events HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n\r\n")
+            writer.write(head.encode("latin-1"))
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n"):
+                    break          # end of response headers
+                if not line:
+                    return
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass

@@ -160,3 +160,78 @@ class TestManagement:
         assert main(["cache", "clear"]) == 0
         assert main(["cache", "list"]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_cache_stats_json_includes_pins(self, cache_dir, capsys):
+        import json
+
+        from repro.cli import main
+
+        rmat_graph(**GRAPH_ARGS)
+        cache_module.pin("rmat_graph", dict(GRAPH_ARGS))
+        try:
+            assert main(["cache", "stats", "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["entries"] == 1
+            assert payload["pinned"]["entries"] == 1
+            assert payload["pinned"]["keys"][0]["generator"] \
+                == "rmat_graph"
+        finally:
+            cache_module.clear_pins()
+
+
+class TestPinnedDatasets:
+    @pytest.fixture(autouse=True)
+    def _fresh_pins(self):
+        cache_module.clear_pins()
+        yield
+        cache_module.clear_pins()
+
+    def test_pinning_block_pins_what_it_touches(self, cache_dir):
+        with cache_module.pinning():
+            warm = rmat_graph(**GRAPH_ARGS)
+        held = cache_module.pinned()
+        assert len(held) == 1
+        assert held[0]["generator"] == "rmat_graph"
+        assert held[0]["refcount"] == 1
+        # A later load is served from the pin, not the filesystem, and
+        # hands back the *same* object.
+        tracer = Tracer()
+        with cache_module.use_tracer(tracer):
+            again = rmat_graph(**GRAPH_ARGS)
+        assert again is warm
+        hits = tracer.spans_named("dataset-cache-hit") \
+            if hasattr(tracer, "spans_named") else []
+        instants = [span for span in tracer.spans
+                    if span.name == "dataset-cache-hit"]
+        assert instants and instants[-1].attrs.get("pinned") is True
+        assert cache_module.pinned()[0]["hits"] == 1
+
+    def test_pin_refcount_and_unpin(self, cache_dir):
+        rmat_graph(**GRAPH_ARGS)                      # publish the entry
+        key = cache_module.pin("rmat_graph", dict(GRAPH_ARGS))
+        assert cache_module.pin("rmat_graph", dict(GRAPH_ARGS)) == key
+        assert cache_module.pinned()[0]["refcount"] == 2
+        assert cache_module.unpin(key)
+        assert cache_module.pinned()[0]["refcount"] == 1
+        assert cache_module.unpin(key)
+        assert cache_module.pinned() == []
+        assert not cache_module.unpin(key)
+
+    def test_pin_unknown_entry_without_build_raises(self, cache_dir):
+        with pytest.raises(KeyError):
+            cache_module.pin("rmat_graph", dict(GRAPH_ARGS))
+
+    def test_stats_report_pins(self, cache_dir):
+        rmat_graph(**GRAPH_ARGS)
+        cache_module.pin("rmat_graph", dict(GRAPH_ARGS))
+        report = cache_stats()
+        assert report["pinned"]["entries"] == 1
+        assert report["pinned"]["refcount"] == 1
+        assert report["pinned"]["keys"][0]["generator"] == "rmat_graph"
+
+    def test_pins_work_with_disk_cache_disabled(self, cache_dir,
+                                                monkeypatch):
+        monkeypatch.setenv(cache_module.CACHE_ENABLE_ENV, "0")
+        with cache_module.pinning():
+            warm = rmat_graph(**GRAPH_ARGS)
+        assert rmat_graph(**GRAPH_ARGS) is warm

@@ -322,6 +322,44 @@ class TestPerfCLI:
         out = capsys.readouterr().out
         assert "table4" in out and "perf_model" in out
 
+    def test_baseline_list_json(self, capsys):
+        pytest.importorskip("benchmarks.conftest")
+        assert main(["perf", "baseline", "list", "--json"]) == 0
+        registry = json.loads(capsys.readouterr().out)
+        assert "serve_loadgen" in registry
+        entry = registry["serve_loadgen"]
+        assert entry["artifact"] == "BENCH_serve.json"
+        assert entry["producer"].endswith("bench_serve.produce")
+
+    def test_serve_section_passes_through_check(self, tmp_path, capsys):
+        from repro.perf.baselines import check, record
+
+        path = tmp_path / "BENCH_serve.json"
+        serve = {"advisory": True,
+                 "loadgen": {"requests": 50, "completed": 50, "failed": 0,
+                             "throughput_rps": 20.0,
+                             "latency_s": {"p50_s": 0.05, "p99_s": 0.2}},
+                 "warm_cold": {"min_speedup": 3.5,
+                               "cache_hits": {"total": 9, "pinned": 9}}}
+        payload = record(path=path, algorithms=("bfs",),
+                         frameworks=("native",), node_counts=(1,),
+                         serve=serve)
+        assert payload["serve"] == serve
+
+        # check() must pass the recorded load report through verbatim
+        # (advisory: it never re-drives a server) and keep gating the
+        # deterministic cells alongside it.
+        report = check(path=path)
+        assert report.ok
+        assert report.serve == serve
+        assert report.to_dict()["serve"] == serve
+
+        assert main(["perf", "baseline", "check", "--baseline",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out and "50/50 ok" in out and "advisory" in out
+        assert "warm/cold 3.5x" in out
+
     def test_exit_code_documented(self, capsys):
         with pytest.raises(SystemExit):
             main(["--help"])

@@ -1,0 +1,544 @@
+"""The serving layer: wire contract, admission, jobs, live server, drain.
+
+Coverage map:
+
+* ``TestApiParsing`` — the typed request parsers and error taxonomy
+  (every rejection is a 400 ``ApiError`` before any work is admitted).
+* ``TestAdmission`` — bounded queue, wall-deadline cap, memory budget,
+  drain refusals; all against the controller alone.
+* ``TestJobRegistry`` — journal-backed job state: restart recovery,
+  stale-job folding, duplicate in-flight journal conflicts.
+* ``TestLiveServer`` — a real :class:`ExperimentService` on an
+  ephemeral port, driven through :class:`ServeClient`: routes, gate
+  experiments with pinned-cache-hit accounting, synchronous sweeps,
+  the concurrent duplicate-journal 409, and the NDJSON event stream.
+* ``TestServeDrain`` — the ``repro serve`` subprocess: SIGTERM
+  mid-sweep exits 8 and leaves the job resumable; a restarted server
+  resumes it to a journal byte-identical to an uninterrupted run;
+  idle SIGTERM exits 0.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness.sweep import Sweep
+from repro.harness.tables import table5
+from repro.serve import (
+    STATE_DONE,
+    STATE_INTERRUPTED,
+    AdmissionController,
+    AdmissionPolicy,
+    ApiError,
+    ExperimentService,
+    JobConflict,
+    JobRegistry,
+    ServeClient,
+)
+from repro.serve.api import (
+    parse_body,
+    parse_experiment_request,
+    parse_perf_request,
+    parse_sweep_request,
+)
+from repro.serve.loadgen import build_plan
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _raises_api(fn, *args, status=400, code=None):
+    with pytest.raises(ApiError) as excinfo:
+        fn(*args)
+    assert excinfo.value.status == status
+    if code is not None:
+        assert excinfo.value.code == code
+    return excinfo.value
+
+
+class TestApiParsing:
+    def test_body_must_be_a_json_object(self):
+        assert parse_body(b"") == {}
+        _raises_api(parse_body, b"not json")
+        _raises_api(parse_body, b"[1, 2]")
+
+    def test_experiment_needs_exactly_one_of_spec_or_gate(self):
+        _raises_api(parse_experiment_request, {})
+        _raises_api(parse_experiment_request, {
+            "spec": {"algorithm": "bfs", "framework": "native",
+                     "dataset": "rmat_mini"},
+            "gate": {"algorithm": "bfs", "framework": "native"}})
+
+    def test_gate_cell_is_validated(self):
+        parsed = parse_experiment_request(
+            {"gate": {"algorithm": "pagerank", "framework": "native"}})
+        assert parsed["kind"] == "gate"
+        assert parsed["gate"] == {"algorithm": "pagerank",
+                                  "framework": "native", "nodes": 1}
+        assert parsed["wait"] is True
+        _raises_api(parse_experiment_request,
+                    {"gate": {"algorithm": "nope", "framework": "native"}})
+        _raises_api(parse_experiment_request,
+                    {"gate": {"algorithm": "bfs", "framework": "nope"}})
+        _raises_api(parse_experiment_request,
+                    {"gate": {"algorithm": "bfs", "framework": "native",
+                              "nodes": 0}})
+
+    def test_spec_form_requires_catalog_dataset(self):
+        parsed = parse_experiment_request(
+            {"spec": {"algorithm": "bfs", "framework": "native",
+                      "dataset": "rmat_mini"}})
+        assert parsed["kind"] == "experiment"
+        assert parsed["spec"]["dataset"] == "rmat_mini"
+        _raises_api(parse_experiment_request,
+                    {"spec": {"algorithm": "bfs", "framework": "nope",
+                              "dataset": "rmat_mini"}})
+
+    def test_sweep_request_validation(self):
+        parsed = parse_sweep_request({"target": "table5"})
+        assert parsed["wait"] is False       # sweeps are async by default
+        assert parsed["max_retries"] == 2
+        _raises_api(parse_sweep_request, {"target": "table99"})
+        _raises_api(parse_sweep_request,
+                    {"target": "table5", "max_retries": -1})
+
+    def test_perf_request_validation(self):
+        parsed = parse_perf_request({})
+        assert parsed["framework"] == "native"
+        assert parsed["node_counts"] == [1]
+        _raises_api(parse_perf_request, {"framework": "nope"})
+        _raises_api(parse_perf_request, {"node_counts": [0]})
+        _raises_api(parse_perf_request, {"node_counts": "4"})
+
+    def test_typed_fields_reject_wrong_types(self):
+        _raises_api(parse_sweep_request,
+                    {"target": "table5", "wait": "yes"})
+        _raises_api(parse_sweep_request,
+                    {"target": "table5", "algorithms": "pagerank"})
+
+    def test_error_payload_shape(self):
+        error = ApiError(409, "conflict", "busy", journal="/tmp/j.jsonl")
+        assert error.payload() == {
+            "error": "conflict", "message": "busy",
+            "detail": {"journal": "/tmp/j.jsonl"}}
+
+
+class TestAdmission:
+    def test_bounded_queue_overflows_to_503(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_running=1, max_queue=0))
+        slot = controller.admit(None, None)
+        error = _raises_api(controller.admit, None, None,
+                            status=503, code="overloaded")
+        assert "queue" in str(error) or "capacity" in str(error)
+        slot.release()
+        controller.admit(None, None).release()
+        assert controller.stats()["rejected"]["overloaded"] == 1
+
+    def test_deadline_above_cap_is_a_400_timeout(self):
+        controller = AdmissionController(AdmissionPolicy(max_deadline_s=10))
+        _raises_api(controller.admit, 11, None, status=400, code="timeout")
+        _raises_api(controller.admit, 0, None, status=400)
+        controller.admit(10, None).release()
+
+    def test_memory_budget(self):
+        controller = AdmissionController(
+            AdmissionPolicy(memory_budget_mb=100))
+        # Can never fit: a 400, not a retryable 503.
+        _raises_api(controller.admit, None, 101,
+                    status=400, code="out-of-memory")
+        held = controller.admit(None, 80)
+        _raises_api(controller.admit, None, 40,
+                    status=503, code="out-of-memory")
+        held.release()
+        controller.admit(None, 40).release()
+
+    def test_draining_refuses_new_work(self):
+        controller = AdmissionController()
+        controller.start_drain()
+        _raises_api(controller.admit, None, None,
+                    status=503, code="overloaded")
+
+    def test_slot_release_is_idempotent(self):
+        controller = AdmissionController()
+        with controller.admit(None, None) as slot:
+            pass
+        slot.release()
+        assert controller.stats()["active"] == 0
+
+
+class TestJobRegistry:
+    def test_jobs_survive_a_registry_restart(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        job = registry.create("gate", {"algorithm": "bfs"})
+        registry.transition(job, "running")
+        registry.transition(job, STATE_DONE, result={"status": "ok"})
+        registry.close()
+
+        reloaded = JobRegistry(tmp_path)
+        reloaded.load()
+        copy = reloaded.get(job.id)
+        assert copy.state == STATE_DONE
+        assert copy.result == {"status": "ok"}
+        assert copy.request == {"algorithm": "bfs"}
+        reloaded.close()
+
+    def test_stale_active_jobs_fold_to_interrupted(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        journal = tmp_path / "sweep.jsonl"
+        job = registry.create("sweep", {"target": "table5"},
+                              journal=journal)
+        registry.transition(job, "running")
+        registry.close()                      # process "dies" mid-run
+
+        reloaded = JobRegistry(tmp_path)
+        reloaded.load()
+        copy = reloaded.get(job.id)
+        assert copy.state == STATE_INTERRUPTED
+        assert copy.error["code"] == "interrupted"
+        assert [stale.id for stale in reloaded.resumable_sweeps()] \
+            == [job.id]
+        reloaded.close()
+
+    def test_duplicate_in_flight_journal_conflicts(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        journal = tmp_path / "shared.jsonl"
+        first = registry.create("sweep", {}, journal=journal)
+        with pytest.raises(JobConflict) as excinfo:
+            registry.create("sweep", {}, journal=journal)
+        assert excinfo.value.holder == first.id
+        # A terminal transition frees the path for the next submission.
+        registry.transition(first, STATE_DONE, result={})
+        registry.create("sweep", {}, journal=journal)
+        registry.close()
+
+    def test_new_ids_continue_past_recovered_ones(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        first = registry.create("gate", {})
+        registry.close()
+        reloaded = JobRegistry(tmp_path)
+        reloaded.load()
+        assert reloaded.create("gate", {}).id > first.id
+        reloaded.close()
+
+
+# ---------------------------------------------------------------------------
+# Live in-process server
+# ---------------------------------------------------------------------------
+
+
+class _LiveServer:
+    """An :class:`ExperimentService` on port 0 in a daemon thread."""
+
+    def __init__(self, state_dir, **kwargs):
+        kwargs.setdefault("jobs", 1)
+        kwargs.setdefault("warm_node_counts", (1,))
+        self.service = ExperimentService(port=0, state_dir=state_dir,
+                                         **kwargs)
+        self.ready = threading.Event()
+        self.exit_code = None
+        self.service.on_ready = lambda _host, _port: self.ready.set()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.exit_code = asyncio.run(self.service.run())
+
+    def __enter__(self):
+        self.thread.start()
+        assert self.ready.wait(timeout=60), "server did not come up"
+        return self
+
+    def __exit__(self, *exc):
+        if self.thread.is_alive():
+            self.service._loop.call_soon_threadsafe(
+                self.service._initiate_drain, int(signal.SIGTERM))
+            self.thread.join(timeout=60)
+        assert not self.thread.is_alive(), "server did not drain"
+
+    def call(self, method, path, body=None):
+        async def _one():
+            client = ServeClient(self.service.host, self.service.port,
+                                 timeout_s=60)
+            try:
+                return await client.request(method, path, body)
+            finally:
+                await client.close()
+
+        return asyncio.run(_one())
+
+
+@pytest.fixture(scope="class")
+def server(request, tmp_path_factory):
+    with _LiveServer(tmp_path_factory.mktemp("serve-state")) as live:
+        request.cls.server = live
+        yield live
+
+
+@pytest.mark.usefixtures("server")
+class TestLiveServer:
+    def test_healthz_and_stats(self):
+        status, health = self.server.call("GET", "/healthz")
+        assert (status, health["status"]) == (200, "ok")
+        status, stats = self.server.call("GET", "/stats")
+        assert status == 200
+        # Warm-up pinned the nodes=1 weak-scaling datasets before the
+        # pool forked; the pins (and their keys) are visible here.
+        assert stats["cache"]["pinned"]
+        assert stats["cache"]["warmed"]
+        assert stats["pool"]["jobs"] == 1
+
+    def test_gate_experiment_hits_the_pinned_cache(self):
+        before = self.server.call("GET", "/stats")[1]["cache"]["hits"]
+        status, job = self.server.call("POST", "/experiments", {
+            "gate": {"algorithm": "pagerank", "framework": "native",
+                     "nodes": 1}})
+        assert status == 200
+        assert job["state"] == STATE_DONE
+        assert job["result"]["status"] == "ok"
+        assert job["result"]["value"]["runtime_s"] > 0
+        after = self.server.call("GET", "/stats")[1]["cache"]["hits"]
+        # The worker's dataset-cache-hit tracer instant (pinned=True)
+        # travelled back in the cell spans and was counted.
+        assert after["pinned"] > before["pinned"]
+
+    def test_spec_experiment_and_perf_analyze(self):
+        status, job = self.server.call("POST", "/experiments", {
+            "spec": {"algorithm": "bfs", "framework": "native",
+                     "dataset": "rmat_mini"}})
+        assert status == 200 and job["result"]["status"] == "ok"
+        status, job = self.server.call("POST", "/perf/analyze", {
+            "framework": "giraph", "algorithms": ["pagerank"],
+            "node_counts": [1]})
+        assert status == 200 and job["state"] == STATE_DONE
+        assert job["result"]["value"]["attributions"]
+
+    def test_dnf_outcome_is_a_result_not_an_error(self):
+        status, job = self.server.call("POST", "/experiments", {
+            "spec": {"algorithm": "pagerank", "framework": "giraph",
+                     "dataset": "rmat_mini", "deadline_s": 1e-9}})
+        assert status == 200
+        assert job["state"] == STATE_DONE
+        assert job["result"]["status"] == "timeout"
+
+    def test_synchronous_sweep_completes(self):
+        status, job = self.server.call("POST", "/sweeps", {
+            "target": "table5", "algorithms": ["pagerank"],
+            "frameworks": ["native"], "wait": True})
+        assert status == 200
+        assert job["state"] == STATE_DONE
+        report = job["result"]["completeness"]
+        assert report["coverage"] == 1.0
+        status, fetched = self.server.call("GET", f"/jobs/{job['job']}")
+        assert status == 200 and fetched["state"] == STATE_DONE
+
+    def test_sweeps_with_algorithms_on_figure5_are_rejected(self):
+        status, payload = self.server.call("POST", "/sweeps", {
+            "target": "figure5", "algorithms": ["pagerank"]})
+        assert (status, payload["error"]) == (400, "bad-request")
+
+    def test_concurrent_duplicate_journal_is_a_409(self, tmp_path):
+        journal = str(tmp_path / "dup.jsonl")
+        body = {"target": "table5", "algorithms": ["bfs"],
+                "frameworks": ["native"], "journal": journal,
+                "wait": False}
+
+        async def _both():
+            first = ServeClient(self.server.service.host,
+                                self.server.service.port, timeout_s=60)
+            second = ServeClient(self.server.service.host,
+                                 self.server.service.port, timeout_s=60)
+            try:
+                return await asyncio.gather(
+                    first.request("POST", "/sweeps", body),
+                    second.request("POST", "/sweeps", body))
+            finally:
+                await first.close()
+                await second.close()
+
+        outcomes = sorted(asyncio.run(_both()), key=lambda out: out[0])
+        assert [status for status, _ in outcomes] == [202, 409]
+        accepted, refused = outcomes[0][1], outcomes[1][1]
+        assert refused["error"] == "conflict"
+        assert refused["detail"]["holder"] == accepted["job"]
+        # The winner still runs to completion.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _status, job = self.server.call("GET",
+                                            f"/jobs/{accepted['job']}")
+            if job["state"] == STATE_DONE:
+                break
+            time.sleep(0.05)
+        assert job["state"] == STATE_DONE
+
+    def test_event_stream_replays_history_and_follows(self):
+        status, job = self.server.call("POST", "/sweeps", {
+            "target": "table5", "algorithms": ["wcc"],
+            "frameworks": ["native"], "wait": True})
+        assert status == 200
+
+        async def _collect():
+            client = ServeClient(self.server.service.host,
+                                 self.server.service.port, timeout_s=60)
+            try:
+                return [event async for event
+                        in client.stream_events(job["job"])]
+            finally:
+                await client.close()
+
+        events = asyncio.run(_collect())
+        assert any(event.get("event") == "cell" for event in events)
+        assert events[-1]["state"] == STATE_DONE
+
+    def test_unknown_routes_and_methods(self):
+        assert self.server.call("GET", "/nope")[0] == 404
+        assert self.server.call("DELETE", "/stats")[0] == 405
+        assert self.server.call("GET", "/jobs/job-999999")[0] == 404
+        status, payload = self.server.call("POST", "/experiments",
+                                           {"gate": {"algorithm": "bfs"}})
+        assert (status, payload["error"]) == (400, "bad-request")
+
+    def test_loadgen_plan_is_deterministic(self):
+        assert build_plan(3, 40) == build_plan(3, 40)
+        assert build_plan(3, 40) != build_plan(4, 40)
+        kinds = {kind for kind, _path, _body in build_plan(0, 200)}
+        assert kinds == {"gate", "perf-analyze", "sweep"}
+
+
+class TestLiveServerAdmission:
+    def test_overloaded_and_draining_rejections_over_http(self, tmp_path):
+        policy = AdmissionPolicy(max_running=1, max_queue=0)
+        with _LiveServer(tmp_path / "state", policy=policy,
+                         warm=False) as live:
+            status, job = live.call("POST", "/sweeps", {
+                "target": "table5", "wait": False})
+            assert status == 202
+            status, payload = live.call("POST", "/experiments", {
+                "gate": {"algorithm": "bfs", "framework": "native"}})
+            assert (status, payload["error"]) == (503, "overloaded")
+            live.service._loop.call_soon_threadsafe(
+                live.service._initiate_drain, int(signal.SIGTERM))
+            live.thread.join(timeout=60)
+            # Drain interrupted the running sweep: exit code 8, and the
+            # journal-backed job is marked resumable for the restart.
+            assert live.exit_code == 8
+        registry = JobRegistry(tmp_path / "state")
+        registry.load()
+        assert [stale.id for stale in registry.resumable_sweeps()] \
+            == [job["job"]]
+        registry.close()
+
+
+# ---------------------------------------------------------------------------
+# Subprocess drain + resume (the satellite-3 contract)
+# ---------------------------------------------------------------------------
+
+
+def _spawn_server(state_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--jobs", "1", "--state-dir", str(state_dir)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True)
+    announce = child.stdout.readline()
+    assert "repro-serve listening" in announce, announce
+    port = int(announce.split("http://", 1)[1].split(" ")[0]
+               .rsplit(":", 1)[1])
+    return child, port
+
+
+def _call(port, method, path, body=None):
+    async def _one():
+        client = ServeClient("127.0.0.1", port, timeout_s=60)
+        try:
+            return await client.request(method, path, body)
+        finally:
+            await client.close()
+
+    return asyncio.run(_one())
+
+
+def _wait_for_state(port, job_id, states, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, job = _call(port, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if job["state"] in states:
+            return job
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+_SWEEP = {"target": "table5", "wait": False}      # full table5: ~100 cells
+
+
+class TestServeDrain:
+    def test_idle_sigterm_drains_clean(self, tmp_path):
+        child, _port = _spawn_server(tmp_path / "state")
+        try:
+            child.send_signal(signal.SIGTERM)
+            assert child.wait(timeout=60) == 0
+        finally:
+            if child.poll() is None:
+                child.kill()
+
+    def test_sigterm_mid_sweep_exits_8_and_restart_resumes(self, tmp_path):
+        state = tmp_path / "state"
+        child, port = _spawn_server(state)
+        try:
+            status, job = _call(port, "POST", "/sweeps", dict(_SWEEP))
+            assert status == 202
+            journal = Path(job["journal"])
+            # Let a prefix of cells land in the journal, then SIGTERM.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if journal.exists() \
+                        and len(journal.read_text().splitlines()) >= 3:
+                    break
+                time.sleep(0.05)
+            child.send_signal(signal.SIGTERM)
+            assert child.wait(timeout=60) == 8
+        finally:
+            if child.poll() is None:
+                child.kill()
+        interrupted = journal.read_bytes()
+        assert interrupted                       # a non-empty prefix
+
+        # The restarted server reports the job interrupted and resumes
+        # it automatically; the finished journal must be byte-identical
+        # to an uninterrupted in-process run of the same sweep.
+        child, port = _spawn_server(state)
+        try:
+            job = _wait_for_state(port, job["job"],
+                                  (STATE_DONE, STATE_INTERRUPTED))
+            resumed_id = None
+            for entry in _call(port, "GET", "/jobs")[1]["jobs"]:
+                if entry["request"].get("resumed_from") == job["job"]:
+                    resumed_id = entry["job"]
+            assert job["state"] == STATE_INTERRUPTED
+            assert resumed_id is not None
+            finished = _wait_for_state(port, resumed_id, (STATE_DONE,))
+            # Full table5 legitimately contains DNF cells (coverage
+            # < 1); completeness means every cell was accounted for.
+            report = finished["result"]["completeness"]
+            assert report["executed"] + report["replayed"] \
+                == report["cells"]
+            assert not report["quarantined"]
+            assert finished["result"]["data"]
+            child.send_signal(signal.SIGTERM)
+            assert child.wait(timeout=60) == 0
+        finally:
+            if child.poll() is None:
+                child.kill()
+
+        reference = tmp_path / "reference.jsonl"
+        table5(sweep=Sweep("table5", journal=reference))
+        assert journal.read_bytes() == reference.read_bytes()
+        assert len(journal.read_bytes()) > len(interrupted)

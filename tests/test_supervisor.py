@@ -298,3 +298,91 @@ class TestProcessDurability:
         assert all(record.ok for record in resumed)
         assert resumed.replayed >= 2
         assert journal.read_bytes() == self._clean_reference(tmp_path)
+
+
+def _pid_executor(key, budget_s=None):
+    return {"pid": os.getpid()}
+
+
+class TestSupervisorPoolReuse:
+    """PR-9: one warm pool serves back-to-back sweeps (and the server)."""
+
+    def test_back_to_back_sweeps_byte_identical_to_fresh_pools(
+            self, tmp_path):
+        from repro.harness import SupervisorPool
+
+        fresh_a = tmp_path / "fresh_a.jsonl"
+        fresh_b = tmp_path / "fresh_b.jsonl"
+        Sweep("a", journal=fresh_a, jobs=2).run(keys(6), ok_executor)
+        Sweep("b", journal=fresh_b, jobs=2).run(keys(4), ok_executor)
+
+        warm_a = tmp_path / "warm_a.jsonl"
+        warm_b = tmp_path / "warm_b.jsonl"
+        pool = SupervisorPool(jobs=2).start()
+        try:
+            result_a = Sweep("a", journal=warm_a, pool=pool).run(
+                keys(6), ok_executor)
+            result_b = Sweep("b", journal=warm_b, pool=pool).run(
+                keys(4), ok_executor)
+        finally:
+            pool.close()
+        assert all(record.ok for record in result_a)
+        assert all(record.ok for record in result_b)
+        assert warm_a.read_bytes() == fresh_a.read_bytes()
+        assert warm_b.read_bytes() == fresh_b.read_bytes()
+
+    def test_workers_stay_warm_across_sweeps(self, tmp_path):
+        from repro.harness import SupervisorPool
+
+        pool = SupervisorPool(jobs=2).start()
+        try:
+            first = Sweep("p1", pool=pool).run(keys(4), _pid_executor)
+            second = Sweep("p2", pool=pool).run(keys(4), _pid_executor)
+        finally:
+            pool.close()
+        pids_first = {record.value["pid"] for record in first}
+        pids_second = {record.value["pid"] for record in second}
+        # The second sweep ran on the same worker processes: no forks
+        # between runs.
+        assert pids_second <= pids_first
+
+    def test_submit_drain_close_lifecycle(self):
+        from repro.harness import CellPolicy, SupervisorPool
+
+        pool = SupervisorPool(jobs=2).start()
+        tickets = [
+            pool.submit({"i": i}, f"cell-{i}", ok_executor, CellPolicy(),
+                        index=i)
+            for i in range(5)
+        ]
+        assert pool.drain(timeout=30.0)
+        cells = [ticket.wait(timeout=10.0) for ticket in tickets]
+        assert [cell.index for cell in cells] == list(range(5))
+        assert all(cell.record.ok for cell in cells)
+        assert pool.outstanding() == 0
+        pool.close()
+        with pytest.raises(ReproError):
+            pool.submit({"i": 9}, "late", ok_executor, CellPolicy())
+
+    def test_per_task_wall_deadline_overrides_pool_default(self):
+        from repro.harness import CellPolicy, SupervisorPool
+
+        pool = SupervisorPool(jobs=1).start()
+        try:
+            ticket = pool.submit(
+                {"i": 0}, "hung", _stalling_sleep_executor, CellPolicy(),
+                wall_deadline_s=0.5)
+            cell = ticket.wait(timeout=30.0)
+            assert cell.record.status == "timeout"
+            assert cell.record.wall_clock
+            # The pool survives the kill: a follow-up task completes.
+            follow = pool.submit({"i": 1}, "after", ok_executor,
+                                 CellPolicy())
+            assert follow.wait(timeout=30.0).record.ok
+        finally:
+            pool.close()
+
+
+def _stalling_sleep_executor(key, budget_s=None):
+    time.sleep(3600)
+    return {"x": 0}
