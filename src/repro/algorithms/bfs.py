@@ -11,7 +11,7 @@ from collections import deque
 
 import numpy as np
 
-from ..graph import CSRGraph
+from ..graph import CSRGraph, iter_csr_blocks
 
 UNREACHED = np.iinfo(np.int32).max
 
@@ -45,15 +45,18 @@ def validate_distances(graph: CSRGraph, source: int,
     distances = np.asarray(distances)
     if distances[source] != 0:
         return False
-    src = graph.sources()
-    dst = graph.targets
-    reached_edge = distances[src] != UNREACHED
-    if np.any(distances[dst[reached_edge]] >
-              distances[src[reached_edge]] + 1):
-        return False
     has_pred = np.zeros(graph.num_vertices, dtype=bool)
-    good = reached_edge & (distances[dst] == distances[src] + 1)
-    has_pred[dst[good]] = True
+    # Block-at-a-time edge scan: one pass per CSR partition, so an
+    # out-of-core graph validates inside its memory budget.
+    for lo, hi, local_offsets, targets in iter_csr_blocks(graph):
+        targets = np.asarray(targets)
+        src_d = np.repeat(distances[lo:hi], np.diff(local_offsets))
+        dst_d = distances[targets]
+        reached_edge = src_d != UNREACHED
+        if np.any(dst_d[reached_edge] > src_d[reached_edge] + 1):
+            return False
+        good = reached_edge & (dst_d == src_d + 1)
+        has_pred[targets[good]] = True
     reached = distances != UNREACHED
     reached[source] = False
     return bool(np.all(has_pred[reached]))

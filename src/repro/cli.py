@@ -379,13 +379,22 @@ def _cmd_figure(args) -> int:
 
 def _cmd_cache(args) -> int:
     """Inspect or clear the content-addressed dataset cache."""
-    from .datagen import cache_entries, cache_stats, clear_cache
+    from .datagen import cache_entries, cache_stats, \
+        clear_cache_report
     from .datagen.cache import cache_root
 
     if args.action == "clear":
-        removed = clear_cache(stale_only=args.stale)
+        report = clear_cache_report(stale_only=args.stale)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return EXIT_OK
+        removed = report["removed"]
         print(f"removed {removed} {'stale ' if args.stale else ''}"
-              f"entr{'y' if removed == 1 else 'ies'} from {cache_root()}")
+              f"entr{'y' if removed == 1 else 'ies'} from {cache_root()}, "
+              f"reclaimed {report['reclaimed_bytes'] / 1e6:.2f} MB")
+        for kind, bucket in sorted(report["by_kind"].items()):
+            print(f"  {kind:<12} {bucket['entries']:>3} entries  "
+                  f"{bucket['bytes'] / 1e6:8.2f} MB")
         return EXIT_OK
     if args.action == "list":
         listed = cache_entries()
@@ -397,8 +406,11 @@ def _cmd_cache(args) -> int:
             return EXIT_OK
         for item in listed:
             stale = "  STALE" if item["stale"] else ""
+            shards = f"  {item['partitions']} shards" \
+                if item.get("partitions") else ""
             print(f"{item['key']}  {item['generator']:<22} "
-                  f"{item['kind']:<8} {item['bytes'] / 1e6:8.2f} MB{stale}")
+                  f"{item['kind']:<12} {item['bytes'] / 1e6:8.2f} MB"
+                  f"{shards}{stale}")
         print(f"{len(listed)} entries at {cache_root()}")
         return EXIT_OK
     # stats
@@ -414,6 +426,14 @@ def _cmd_cache(args) -> int:
     for name, bucket in sorted(summary["by_generator"].items()):
         print(f"  {name:<22} {bucket['entries']:>3} entries  "
               f"{bucket['bytes'] / 1e6:8.2f} MB")
+    shards = summary["shards"]
+    print(f"out-of-core   : {shards['sharded_graphs']} sharded graphs "
+          f"({shards['partitions']} partitions), "
+          f"{shards['edge_shards']} edge shards, "
+          f"{shards['bytes'] / 1e6:.2f} MB")
+    memory = summary["pinned"]["memory"]
+    print(f"pinned memory : {memory['resident_bytes'] / 1e6:.2f} MB "
+          f"resident of {memory['virtual_bytes'] / 1e6:.2f} MB virtual")
     return EXIT_OK
 
 
@@ -443,14 +463,20 @@ def _cmd_graph500(args) -> int:
     result = run_graph500(scale=args.scale, nodes=args.nodes,
                           framework=args.framework,
                           num_roots=args.roots,
-                          scale_factor=args.scale_factor)
+                          scale_factor=args.scale_factor,
+                          streamed=args.streamed,
+                          memory_budget_mb=args.memory_budget_mb,
+                          chunk_edges=args.chunk_edges,
+                          num_partitions=args.partitions)
+    mode = "streamed (out-of-core)" if result.streamed else "in-memory"
     print(f"Graph500 BFS, scale {result.scale} "
           f"({result.num_edges:,} undirected edges), "
-          f"{result.num_roots} roots on {args.framework}:")
+          f"{result.num_roots} roots on {args.framework}, {mode}:")
     print(f"  harmonic mean TEPS : {result.harmonic_mean_teps:.3e}")
     print(f"  min / median / max : {result.min_teps:.3e} / "
           f"{result.median_teps:.3e} / {result.max_teps:.3e}")
     print(f"  mean BFS time      : {result.mean_time_s:.4f} s")
+    print(f"  peak RSS           : {result.peak_rss_mb:.1f} MB")
     print(f"  all trees valid    : {result.all_valid}")
     return 0 if result.all_valid else 1
 
@@ -618,6 +644,64 @@ def _cmd_perf_kernels(args) -> int:
     return EXIT_OK
 
 
+def _cmd_perf_outofcore(args) -> int:
+    from . import perf
+    from .errors import PerfRegression
+
+    subset = dict(perf.OUTOFCORE_SUBSET)
+    if args.scale is not None:
+        subset["scale"] = args.scale
+    try:
+        report = perf.check_outofcore(min_ratio=args.min_ratio,
+                                      subset=subset)
+    except PerfRegression as error:
+        print(f"outofcore gate: {error}", file=sys.stderr)
+        return EXIT_PERF_REGRESSION
+    if args.record:
+        perf.record_outofcore(path=args.out, subset=subset)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(perf.render_outofcore_report(report))
+        if args.record:
+            print(f"recorded baseline to {args.out}")
+    return EXIT_OK
+
+
+def _cmd_outofcore(args) -> int:
+    """The OOM -> ok demonstration (``repro outofcore demo``)."""
+    from .harness.outofcore import run_outofcore_demo
+
+    result = run_outofcore_demo(
+        scale=args.scale, memory_limit_mb=args.memory_limit_mb,
+        mapped_allowance_mb=args.mapped_allowance_mb,
+        memory_budget_mb=args.memory_budget_mb,
+        chunk_edges=args.chunk_edges, num_partitions=args.partitions,
+        num_roots=args.roots, journal=args.journal)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(f"Graph500 at scale {result['scale']} under a "
+              f"{result['memory_limit_mb']:.0f} MB cap "
+              f"(+{result['mapped_allowance_mb']:.0f} MB for shard maps):")
+        print(f"  in-memory : {result['in_memory']['status']}")
+        streamed = result["streamed"]
+        value = streamed["value"] or {}
+        extra = ""
+        if value:
+            extra = (f"  (peak RSS {value['peak_rss_mb']:.1f} MB, "
+                     f"{value['harmonic_mean_teps']:.3e} TEPS, "
+                     f"valid={value['all_valid']})")
+        print(f"  streamed  : {streamed['status']}{extra}")
+        if args.journal:
+            print(f"  journal   : {args.journal}")
+        print("TRANSITION: out-of-memory -> ok"
+              if result["transition"] else
+              "no transition (expected in-memory=out-of-memory, "
+              "streamed=ok)")
+    return EXIT_OK if result["transition"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from .algorithms.registry import ALGORITHMS, FRAMEWORKS
 
@@ -766,6 +850,17 @@ def build_parser() -> argparse.ArgumentParser:
     g500.add_argument("--framework", default="native", choices=FRAMEWORKS)
     g500.add_argument("--roots", type=int, default=8)
     g500.add_argument("--scale-factor", type=float, default=1.0)
+    g500.add_argument("--streamed", action="store_true",
+                      help="build the graph through the out-of-core "
+                           "pipeline (byte-identical, bounded peak RSS)")
+    g500.add_argument("--memory-budget-mb", type=float, default=None,
+                      help="resident shard working-set cap for "
+                           "--streamed runs")
+    g500.add_argument("--chunk-edges", type=int, default=1 << 18,
+                      help="edges per generation chunk for --streamed")
+    g500.add_argument("--partitions", type=int, default=None,
+                      help="shard partition count for --streamed "
+                           "(default: sized for ~8 MB of ids each)")
     g500.set_defaults(func=_cmd_graph500)
 
     sub.add_parser("regenerate", help="regenerate every table and figure") \
@@ -848,6 +943,27 @@ def build_parser() -> argparse.ArgumentParser:
     kernels.add_argument("--json", action="store_true")
     kernels.set_defaults(func=_cmd_perf_kernels)
 
+    ooc_gate = perf_sub.add_parser(
+        "outofcore",
+        help="ingest-throughput + digest-identity gate for the "
+             "out-of-core pipeline",
+        description="Build the same R-MAT graph through the in-memory "
+                    "and streamed sharded paths; fail (exit 7) if the "
+                    "partition digests differ or streamed ingest falls "
+                    "below --min-ratio of the in-memory throughput.")
+    ooc_gate.add_argument("--min-ratio", type=float, default=0.5,
+                          help="required streamed/in-memory ingest "
+                               "throughput (default: 0.5)")
+    ooc_gate.add_argument("--scale", type=int, default=None,
+                          help="override the gate workload scale")
+    ooc_gate.add_argument("--record", action="store_true",
+                          help="also write the measured report as the "
+                               "baseline file")
+    ooc_gate.add_argument("--out", default="BENCH_outofcore.json",
+                          help="baseline file for --record")
+    ooc_gate.add_argument("--json", action="store_true")
+    ooc_gate.set_defaults(func=_cmd_perf_outofcore)
+
     cache = sub.add_parser(
         "cache",
         help="inspect or clear the content-addressed dataset cache",
@@ -862,6 +978,38 @@ def build_parser() -> argparse.ArgumentParser:
                             "different datagen code version")
     cache.add_argument("--json", action="store_true")
     cache.set_defaults(func=_cmd_cache)
+
+    outofcore = sub.add_parser(
+        "outofcore",
+        help="out-of-core pipeline demonstrations",
+        description="The OOM -> ok headline: run the Graph500 protocol "
+                    "twice under one RLIMIT_AS cap — the monolithic "
+                    "in-memory build records out-of-memory, the "
+                    "streamed sharded build completes — and journal "
+                    "the transition. Exits 0 only when the transition "
+                    "holds.")
+    outofcore.add_argument("action", choices=("demo",))
+    outofcore.add_argument("--scale", type=int, default=18,
+                           help="R-MAT scale (default 18: dense needs "
+                                "~600 MB, streamed ~190 MB)")
+    outofcore.add_argument("--memory-limit-mb", type=float, default=256.0,
+                           help="per-worker anonymous headroom "
+                                "(RLIMIT_AS above fork footprint)")
+    outofcore.add_argument("--mapped-allowance-mb", type=float,
+                           default=None,
+                           help="extra address space for read-only "
+                                "shard maps (default: 2x the on-disk "
+                                "CSR size)")
+    outofcore.add_argument("--memory-budget-mb", type=float, default=64.0,
+                           help="resident shard working-set cap for "
+                                "the streamed cell")
+    outofcore.add_argument("--chunk-edges", type=int, default=1 << 18)
+    outofcore.add_argument("--partitions", type=int, default=None)
+    outofcore.add_argument("--roots", type=int, default=4)
+    outofcore.add_argument("--journal", default=None,
+                           help="write the two-cell sweep journal here")
+    outofcore.add_argument("--json", action="store_true")
+    outofcore.set_defaults(func=_cmd_outofcore)
 
     serve = sub.add_parser(
         "serve",

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..chaos.recovery import FAIL_FAST, RecoveryStats
 from ..errors import DeadlineExceeded, NodeFailure, SimulationError
-from ..observability import NULL_TRACER
+from ..observability import NULL_TRACER, sample_peak_rss
 from .cost import ComputeWork, CostModel
 from .hardware import ClusterSpec
 from .memory import MemoryTracker
@@ -248,6 +248,10 @@ class Cluster:
                                       node=node,
                                       bytes_out=float(report.bytes_out[node]))
                 self._elapsed += step_time
+            # Superstep boundaries are where working sets turn over
+            # (frontier gathers, partition loads), so they are where the
+            # out-of-core memory claims get *measured*.
+            sample_peak_rss(tracer)
         else:
             self._elapsed += step_time
         self._steps += 1

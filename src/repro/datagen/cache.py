@@ -155,13 +155,25 @@ def freeze_dataset(data):
 
 # -- (de)serialization -------------------------------------------------------
 
-def _arrays_of(data) -> dict:
-    from ..graph import CSRGraph, RatingsMatrix
+_ARRAYS_NPZ = "arrays.npz"
 
+
+def _arrays_of(data) -> dict:
+    from ..graph import CSRGraph, EdgeList, RatingsMatrix, ShardedCSRGraph
+
+    if isinstance(data, ShardedCSRGraph):
+        # Shard files live on disk already and are mapped read-only by
+        # construction; nothing in-process to serialize or freeze.
+        return {}
     if isinstance(data, CSRGraph):
         arrays = {"offsets": data.offsets, "targets": data.targets}
         if data.edge_weights is not None:
             arrays["edge_weights"] = data.edge_weights
+        return arrays
+    if isinstance(data, EdgeList):
+        arrays = {"src": data.src, "dst": data.dst}
+        if data.weights is not None:
+            arrays["weights"] = data.weights
         return arrays
     if isinstance(data, RatingsMatrix):
         return {"users": data.users, "items": data.items,
@@ -170,33 +182,45 @@ def _arrays_of(data) -> dict:
 
 
 def _scalars_of(data) -> dict:
-    from ..graph import CSRGraph
+    from ..graph import CSRGraph, EdgeList
 
     if isinstance(data, CSRGraph):
         return {"kind": "csr", "num_vertices": data.num_vertices}
+    if isinstance(data, EdgeList):
+        return {"kind": "edgelist", "num_vertices": data.num_vertices}
     return {"kind": "ratings", "num_users": data.num_users,
             "num_items": data.num_items}
 
 
 def _materialize(meta: dict, arrays: dict):
-    from ..graph import CSRGraph, RatingsMatrix
+    from ..graph import CSRGraph, EdgeList, RatingsMatrix
 
     if meta["kind"] == "csr":
         return CSRGraph(meta["num_vertices"], arrays["offsets"],
                         arrays["targets"], arrays.get("edge_weights"))
+    if meta["kind"] == "edgelist":
+        return EdgeList(meta["num_vertices"], arrays["src"], arrays["dst"],
+                        arrays.get("weights"))
     return RatingsMatrix(meta["num_users"], meta["num_items"],
                          arrays["users"], arrays["items"],
                          arrays["ratings"])
 
 
-def _store(entry: Path, generator: str, params: dict, data) -> None:
+def _store(entry: Path, generator: str, params: dict, data,
+           compress: bool = False) -> None:
     """Publish one entry atomically (temp dir + ``os.replace``)."""
     entry.parent.mkdir(parents=True, exist_ok=True)
     tmp = Path(tempfile.mkdtemp(dir=entry.parent,
                                 prefix=entry.name + ".tmp."))
     try:
-        for name, array in _arrays_of(data).items():
-            np.save(tmp / f"{name}.npy", np.ascontiguousarray(array))
+        arrays = _arrays_of(data)
+        if compress:
+            np.savez_compressed(
+                tmp / _ARRAYS_NPZ,
+                **{name: np.ascontiguousarray(a) for name, a in arrays.items()})
+        else:
+            for name, array in arrays.items():
+                np.save(tmp / f"{name}.npy", np.ascontiguousarray(array))
         meta = {**_scalars_of(data), "generator": generator,
                 "params": _normalize(params), "version": code_version()}
         (tmp / _META_NAME).write_text(json.dumps(meta, sort_keys=True,
@@ -211,15 +235,26 @@ def _store(entry: Path, generator: str, params: dict, data) -> None:
 
 
 def _load(entry: Path):
+    from ..graph import ShardedCSRGraph
+
     meta = json.loads((entry / _META_NAME).read_text())
-    arrays = {
-        path.stem: np.load(path, mmap_mode="r")
-        for path in sorted(entry.glob("*.npy"))
-    }
+    if meta.get("kind") == "sharded-csr":
+        return ShardedCSRGraph(entry)
+    npz = entry / _ARRAYS_NPZ
+    if npz.exists():
+        # Compressed entries (edge shards) decompress into plain arrays —
+        # they are chunk-sized by construction, so no mmap needed.
+        arrays = dict(np.load(npz))
+    else:
+        arrays = {
+            path.stem: np.load(path, mmap_mode="r")
+            for path in sorted(entry.glob("*.npy"))
+        }
     return _materialize(meta, arrays)
 
 
-def get_or_build(generator: str, params: dict, build):
+def get_or_build(generator: str, params: dict, build,
+                 compress: bool = False):
     """The cache's one lookup: load the entry or build + publish it.
 
     Returns the *loaded* (memory-mapped, immutable) dataset on both
@@ -228,6 +263,8 @@ def get_or_build(generator: str, params: dict, build):
     the entry cannot be written (read-only filesystem). Pinned entries
     (see :func:`pin`) short-circuit everything: the held object is
     returned directly, with a ``pinned=true`` hit instant as proof.
+    ``compress=True`` stores the arrays as one compressed npz (the
+    edge-shard entries — chunk-sized, loaded whole, worth shrinking).
     """
     key = entry_key(generator, params)
     with _PINS_LOCK:
@@ -247,14 +284,87 @@ def get_or_build(generator: str, params: dict, build):
     _TRACER.instant("dataset-cache-miss", generator=generator, key=key)
     data = build()
     try:
-        _store(entry, generator, params, data)
+        _store(entry, generator, params, data, compress=compress)
     except OSError:
         return _maybe_pin(key, generator, freeze_dataset(data))
     _TRACER.instant("dataset-cache-store", generator=generator, key=key)
     return _maybe_pin(key, generator, freeze_dataset(_load(entry)))
 
 
-def disk_cached(generator: str):
+def get_or_build_dir(generator: str, params: dict, build_into):
+    """Directory-shaped cache entries (the sharded-CSR manifests).
+
+    ``build_into(tmpdir)`` must write a complete sharded graph directory
+    (shard files plus a ``meta.json`` manifest) into ``tmpdir``; the
+    cache stamps the manifest with its generator/params/version identity
+    and publishes it with one ``os.replace``, exactly like array
+    entries. A hit hands back a :class:`~repro.graph.ShardedCSRGraph`
+    over the published directory — loading costs one manifest read plus
+    the lazy mmaps, so pinning the result pins the *manifest*, not the
+    edge bytes. With caching disabled, builds land in a process-lifetime
+    temp directory (sharded graphs need a disk home regardless).
+    """
+    key = entry_key(generator, params)
+    with _PINS_LOCK:
+        held = _PINS.get(key)
+        if held is not None:
+            held["hits"] += 1
+    if held is not None:
+        _TRACER.instant("dataset-cache-hit", generator=generator, key=key,
+                        pinned=True)
+        return held["data"]
+
+    def stamp(tmp: Path):
+        meta_path = tmp / _META_NAME
+        meta = json.loads(meta_path.read_text())
+        meta.update({"generator": generator, "params": _normalize(params),
+                     "version": code_version()})
+        meta_path.write_text(json.dumps(meta, sort_keys=True, indent=2) + "\n")
+
+    if not cache_enabled():
+        scratch = Path(_scratch_root()) / key
+        if not (scratch / _META_NAME).exists():
+            tmp = Path(tempfile.mkdtemp(dir=_scratch_root(),
+                                        prefix=key + ".tmp."))
+            build_into(tmp)
+            stamp(tmp)
+            try:
+                os.replace(tmp, scratch)
+            except OSError:
+                shutil.rmtree(tmp, ignore_errors=True)
+                if not (scratch / _META_NAME).exists():
+                    raise
+        return _maybe_pin(key, generator, _load(scratch))
+    entry = cache_root() / key
+    if (entry / _META_NAME).exists():
+        _TRACER.instant("dataset-cache-hit", generator=generator, key=key)
+        return _maybe_pin(key, generator, _load(entry))
+    _TRACER.instant("dataset-cache-miss", generator=generator, key=key)
+    entry.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(dir=entry.parent, prefix=key + ".tmp."))
+    try:
+        build_into(tmp)
+        stamp(tmp)
+        os.replace(tmp, entry)
+    except OSError:
+        shutil.rmtree(tmp, ignore_errors=True)
+        if not (entry / _META_NAME).exists():
+            raise
+    _TRACER.instant("dataset-cache-store", generator=generator, key=key)
+    return _maybe_pin(key, generator, _load(entry))
+
+
+@functools.lru_cache(maxsize=1)
+def _scratch_root() -> str:
+    """Process-lifetime home for cache-disabled sharded builds."""
+    import atexit
+
+    root = tempfile.mkdtemp(prefix="repro-ooc-")
+    atexit.register(shutil.rmtree, root, ignore_errors=True)
+    return root
+
+
+def disk_cached(generator: str, compress: bool = False):
     """Decorator wiring one dataset generator through the disk cache.
 
     The cache key binds the call's full signature (defaults applied),
@@ -272,7 +382,8 @@ def disk_cached(generator: str):
             bound = signature.bind(*args, **kwargs)
             bound.apply_defaults()
             return get_or_build(generator, dict(bound.arguments),
-                                lambda: fn(*args, **kwargs))
+                                lambda: fn(*args, **kwargs),
+                                compress=compress)
 
         return inner
 
@@ -400,6 +511,29 @@ def clear_pins() -> int:
 
 # -- management (the ``repro cache`` subcommand) -----------------------------
 
+def pinned_memory() -> dict:
+    """Virtual vs resident footprint of the pinned warm set.
+
+    ``virtual_bytes`` sums ``nbytes()`` (what the address space holds,
+    shard files included); ``resident_bytes`` sums ``resident_nbytes()``
+    (anonymous memory actually held — mmap-backed arrays count zero).
+    Memory admission budgets against the resident number.
+    """
+    with _PINS_LOCK:
+        held = [item["data"] for item in _PINS.values()]
+    virtual = resident = 0
+    for data in held:
+        nbytes = getattr(data, "nbytes", None)
+        if callable(nbytes):
+            virtual += int(nbytes())
+        resident_fn = getattr(data, "resident_nbytes", None)
+        if callable(resident_fn):
+            resident += int(resident_fn())
+        elif callable(nbytes):
+            resident += int(nbytes())
+    return {"virtual_bytes": virtual, "resident_bytes": resident}
+
+
 def entries(root=None) -> list:
     """All cache entries as dicts: key, generator, kind, size, files."""
     root = Path(root) if root is not None else cache_root()
@@ -411,8 +545,11 @@ def entries(root=None) -> list:
         if not entry.is_dir() or not meta_path.exists():
             continue
         meta = json.loads(meta_path.read_text())
-        size = sum(path.stat().st_size for path in entry.iterdir())
-        out.append({
+        # Recursive walk: sharded entries nest shard files (and possibly
+        # a reverse/ transpose directory) below the entry root.
+        size = sum(path.stat().st_size
+                   for path in entry.rglob("*") if path.is_file())
+        item = {
             "key": entry.name,
             "generator": meta.get("generator", "?"),
             "kind": meta.get("kind", "?"),
@@ -420,7 +557,12 @@ def entries(root=None) -> list:
             "version": meta.get("version", "?"),
             "bytes": size,
             "stale": meta.get("version") != code_version(),
-        })
+        }
+        if meta.get("kind") == "sharded-csr":
+            sharded = meta.get("sharded", {})
+            item["partitions"] = len(sharded.get("partitions", []))
+            item["num_edges"] = sharded.get("num_edges")
+        out.append(item)
     return out
 
 
@@ -429,11 +571,17 @@ def stats(root=None) -> dict:
     root = Path(root) if root is not None else cache_root()
     listed = entries(root)
     by_generator = {}
+    by_kind = {}
     for item in listed:
         bucket = by_generator.setdefault(
             item["generator"], {"entries": 0, "bytes": 0})
         bucket["entries"] += 1
         bucket["bytes"] += item["bytes"]
+        kind = by_kind.setdefault(item["kind"], {"entries": 0, "bytes": 0})
+        kind["entries"] += 1
+        kind["bytes"] += item["bytes"]
+    sharded = [item for item in listed if item["kind"] == "sharded-csr"]
+    edge_shards = [item for item in listed if item["kind"] == "edgelist"]
     held = pinned()
     return {
         "root": str(root),
@@ -442,22 +590,42 @@ def stats(root=None) -> dict:
         "bytes": sum(item["bytes"] for item in listed),
         "stale_entries": sum(1 for item in listed if item["stale"]),
         "by_generator": by_generator,
+        "by_kind": by_kind,
+        "shards": {
+            "sharded_graphs": len(sharded),
+            "partitions": sum(item.get("partitions", 0) for item in sharded),
+            "edge_shards": len(edge_shards),
+            "bytes": sum(item["bytes"] for item in sharded + edge_shards),
+        },
         "pinned": {
             "entries": len(held),
             "refcount": sum(item["refcount"] for item in held),
             "hits": sum(item["hits"] for item in held),
             "keys": held,
+            "memory": pinned_memory(),
         },
     }
 
 
-def clear(root=None, stale_only: bool = False) -> int:
-    """Delete cache entries; returns how many were removed."""
+def clear_report(root=None, stale_only: bool = False) -> dict:
+    """Delete cache entries; reports per-kind counts and reclaimed bytes."""
     root = Path(root) if root is not None else cache_root()
     removed = 0
+    reclaimed = 0
+    by_kind = {}
     for item in entries(root):
         if stale_only and not item["stale"]:
             continue
         shutil.rmtree(root / item["key"], ignore_errors=True)
         removed += 1
-    return removed
+        reclaimed += item["bytes"]
+        kind = by_kind.setdefault(item["kind"], {"entries": 0, "bytes": 0})
+        kind["entries"] += 1
+        kind["bytes"] += item["bytes"]
+    return {"removed": removed, "reclaimed_bytes": reclaimed,
+            "by_kind": by_kind}
+
+
+def clear(root=None, stale_only: bool = False) -> int:
+    """Delete cache entries; returns how many were removed."""
+    return clear_report(root, stale_only=stale_only)["removed"]

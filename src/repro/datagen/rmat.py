@@ -17,12 +17,20 @@ million-edge graphs generate in well under a second.
 
 from __future__ import annotations
 
+import functools
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..graph import CSRGraph, EdgeList
-from .cache import disk_cached
+from ..graph import CSRGraph, EdgeList, build_sharded_csr
+from .cache import disk_cached, get_or_build_dir
+
+#: When truthy, :func:`rmat_graph` / :func:`rmat_triangle_graph` build
+#: through the streamed out-of-core pipeline instead of one in-memory
+#: pass. Same seeds, same bytes (digest-tested) — only the storage and
+#: the peak RSS differ, so it can be flipped under an existing sweep.
+OUT_OF_CORE_ENV = "REPRO_OUT_OF_CORE"
 
 GRAPH500_PARAMS = (0.57, 0.19, 0.19)
 TRIANGLE_PARAMS = (0.45, 0.15, 0.15)
@@ -87,14 +95,15 @@ def rmat_edges(scale: int, edge_factor: int = 16, params: RMATParams = None,
     return EdgeList(num_vertices, permutation[src], permutation[dst])
 
 
-@disk_cached("rmat_graph")
-def rmat_graph(scale: int, edge_factor: int = 16, params: RMATParams = None,
-               seed: int = 0, directed: bool = True) -> CSRGraph:
-    """Deduplicated, loop-free CSR graph from RMAT edges.
+def out_of_core_enabled() -> bool:
+    return os.environ.get(OUT_OF_CORE_ENV, "").lower() \
+        in ("1", "on", "true", "yes")
 
-    ``directed=True`` keeps the generated direction (PageRank input);
-    ``directed=False`` symmetrizes (BFS input).
-    """
+
+@disk_cached("rmat_graph")
+def _rmat_graph_dense(scale: int, edge_factor: int = 16,
+                      params: RMATParams = None, seed: int = 0,
+                      directed: bool = True) -> CSRGraph:
     edges = rmat_edges(scale, edge_factor, params, seed)
     edges = edges.drop_self_loops().deduplicate()
     if not directed:
@@ -102,14 +111,146 @@ def rmat_graph(scale: int, edge_factor: int = 16, params: RMATParams = None,
     return CSRGraph.from_edges(edges)
 
 
+def rmat_graph(scale: int, edge_factor: int = 16, params: RMATParams = None,
+               seed: int = 0, directed: bool = True):
+    """Deduplicated, loop-free CSR graph from RMAT edges.
+
+    ``directed=True`` keeps the generated direction (PageRank input);
+    ``directed=False`` symmetrizes (BFS input). With
+    ``REPRO_OUT_OF_CORE`` set, the same graph comes back as a
+    byte-identical :class:`~repro.graph.ShardedCSRGraph` built through
+    the streamed pipeline.
+    """
+    if out_of_core_enabled():
+        return rmat_graph_sharded(scale, edge_factor, params, seed,
+                                  directed=directed)
+    return _rmat_graph_dense(scale, edge_factor, params, seed, directed)
+
+
+rmat_graph.__wrapped__ = _rmat_graph_dense.__wrapped__
+
+
 @disk_cached("rmat_triangle_graph")
-def rmat_triangle_graph(scale: int, edge_factor: int = 16,
-                        seed: int = 0) -> CSRGraph:
+def _rmat_triangle_graph_dense(scale: int, edge_factor: int = 16,
+                               seed: int = 0) -> CSRGraph:
+    edges = rmat_edges(scale, edge_factor, RMATParams(*TRIANGLE_PARAMS), seed)
+    return CSRGraph.from_edges(edges.orient_by_id())
+
+
+def rmat_triangle_graph(scale: int, edge_factor: int = 16, seed: int = 0):
     """Triangle-counting input exactly as the paper prepares it.
 
     Uses the reduced-triangle parameters (A=0.45, B=C=0.15) and assigns
     "a direction to edges going from the vertex with smaller id to one
     with larger id to avoid cycles" (Section 4.1.2).
     """
-    edges = rmat_edges(scale, edge_factor, RMATParams(*TRIANGLE_PARAMS), seed)
-    return CSRGraph.from_edges(edges.orient_by_id())
+    if out_of_core_enabled():
+        return rmat_triangle_graph_sharded(scale, edge_factor, seed)
+    return _rmat_triangle_graph_dense(scale, edge_factor, seed)
+
+
+rmat_triangle_graph.__wrapped__ = _rmat_triangle_graph_dense.__wrapped__
+
+
+# -- streamed out-of-core builds ---------------------------------------------
+
+@disk_cached("rmat_edge_shard", compress=True)
+def rmat_edge_shard(scale: int, edge_factor: int = 16,
+                    params: RMATParams = None, seed: int = 0,
+                    chunk_edges: int = 1 << 18, chunk: int = 0) -> EdgeList:
+    """One fixed-size block of the seeded R-MAT edge stream.
+
+    Cache entries are per chunk *index*, so a miss regenerates one
+    compressed shard, never the dataset; the bytes are the exact slice
+    ``[chunk * chunk_edges, (chunk+1) * chunk_edges)`` of what
+    :func:`rmat_edges` would produce (see ``repro.datagen.stream``).
+    """
+    stream = _stream_for(scale, edge_factor, params, seed)
+    start = chunk * chunk_edges
+    if not 0 <= start < stream.num_edges:
+        raise ValueError(f"chunk {chunk} out of range for {stream!r}")
+    return stream.chunk(start, min(start + chunk_edges, stream.num_edges))
+
+
+@functools.lru_cache(maxsize=4)
+def _stream_for(scale, edge_factor, params, seed):
+    # Caches the stream (and with it the O(V) vertex permutation) across
+    # the per-chunk shard builds of one dataset.
+    from .stream import RMATStream
+
+    return RMATStream(scale, edge_factor, params, seed)
+
+
+def _derived_partitions(scale: int, edge_factor: int, symmetrized: bool) -> int:
+    """Enough partitions that each holds ~8 MB of target ids.
+
+    The finalize pass's transient (spill pairs + dedup keys + sort
+    scratch) runs ~5x a partition's target bytes, so 8 MB of ids keeps
+    the build's peak near 40 MB per partition regardless of scale.
+    """
+    approx_bytes = (edge_factor << scale) * 8 * (2 if symmetrized else 1)
+    return int(max(1, min(1 << scale, -(-approx_bytes // (8 << 20)))))
+
+
+def rmat_graph_sharded(scale: int, edge_factor: int = 16,
+                       params: RMATParams = None, seed: int = 0,
+                       directed: bool = True,
+                       chunk_edges: int = 1 << 18,
+                       num_partitions: int = None,
+                       memory_budget_mb: float = None):
+    """The :func:`rmat_graph` dataset as a partitioned on-disk CSR.
+
+    Byte-identical to the dense build (same sorted unique adjacency),
+    but peak memory is one edge chunk plus one partition's spill.
+    ``memory_budget_mb`` is a runtime working-set knob on the returned
+    handle, not part of the dataset identity.
+    """
+    params = params or RMATParams()
+    if num_partitions is None:
+        num_partitions = _derived_partitions(scale, edge_factor, not directed)
+    key_params = {"scale": scale, "edge_factor": edge_factor,
+                  "params": params, "seed": seed, "directed": directed,
+                  "chunk_edges": chunk_edges,
+                  "num_partitions": num_partitions}
+
+    def build_into(tmp):
+        stream = _stream_for(scale, edge_factor, params, seed)
+        blocks = (rmat_edge_shard(scale, edge_factor, params, seed,
+                                  chunk_edges=chunk_edges, chunk=index)
+                  for index in range(stream.num_chunks(chunk_edges)))
+        build_sharded_csr(blocks, stream.num_vertices, tmp,
+                          num_partitions=num_partitions,
+                          symmetrize=not directed)
+
+    graph = get_or_build_dir("rmat_graph_sharded", key_params, build_into)
+    if memory_budget_mb is not None:
+        graph.memory_budget_mb = memory_budget_mb
+    return graph
+
+
+def rmat_triangle_graph_sharded(scale: int, edge_factor: int = 16,
+                                seed: int = 0,
+                                chunk_edges: int = 1 << 18,
+                                num_partitions: int = None,
+                                memory_budget_mb: float = None):
+    """The :func:`rmat_triangle_graph` dataset as a sharded CSR."""
+    params = RMATParams(*TRIANGLE_PARAMS)
+    if num_partitions is None:
+        num_partitions = _derived_partitions(scale, edge_factor, False)
+    key_params = {"scale": scale, "edge_factor": edge_factor,
+                  "seed": seed, "chunk_edges": chunk_edges,
+                  "num_partitions": num_partitions}
+
+    def build_into(tmp):
+        stream = _stream_for(scale, edge_factor, params, seed)
+        blocks = (rmat_edge_shard(scale, edge_factor, params, seed,
+                                  chunk_edges=chunk_edges, chunk=index)
+                  for index in range(stream.num_chunks(chunk_edges)))
+        build_sharded_csr(blocks, stream.num_vertices, tmp,
+                          num_partitions=num_partitions, orient_by_id=True)
+
+    graph = get_or_build_dir("rmat_triangle_graph_sharded", key_params,
+                             build_into)
+    if memory_budget_mb is not None:
+        graph.memory_budget_mb = memory_budget_mb
+    return graph

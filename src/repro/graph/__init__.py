@@ -14,6 +14,14 @@ from .partition import (
     partition_vertex_cut,
     partition_vertices_1d,
 )
+from .sharded import (
+    CSRPartition,
+    ShardedCSRGraph,
+    build_sharded_csr,
+    graph_digests,
+    iter_csr_blocks,
+    partition_bounds,
+)
 from .properties import (
     PowerLawFit,
     count_triangles_exact,
@@ -26,8 +34,14 @@ from .properties import (
 __all__ = [
     "BitVector",
     "CSRGraph",
+    "CSRPartition",
     "CuckooHashSet",
     "EdgeList",
+    "ShardedCSRGraph",
+    "build_sharded_csr",
+    "graph_digests",
+    "iter_csr_blocks",
+    "partition_bounds",
     "Partition1D",
     "Partition2D",
     "PowerLawFit",

@@ -96,6 +96,12 @@ class RatingsMatrix:
     def nbytes(self) -> int:
         return self.users.nbytes + self.items.nbytes + self.ratings.nbytes
 
+    def resident_nbytes(self) -> int:
+        """Bytes held as anonymous memory; mmap-backed arrays count zero."""
+        from .csr import resident_nbytes_of
+
+        return resident_nbytes_of(self.users, self.items, self.ratings)
+
     def __repr__(self) -> str:
         return (
             f"RatingsMatrix(num_users={self.num_users}, "

@@ -19,6 +19,28 @@ from ..errors import GraphFormatError
 from .edgelist import EdgeList
 
 
+def resident_nbytes_of(*arrays) -> int:
+    """Bytes of the given arrays actually backed by anonymous memory.
+
+    Cache-loaded datasets are ``np.load(..., mmap_mode="r")`` views: the
+    kernel faults their pages in and can discard them under pressure, so
+    counting ``nbytes`` as held memory double-counts the page cache.
+    An array whose base buffer is an ``mmap``/``np.memmap`` contributes
+    zero here; everything else contributes its full ``nbytes``.
+    """
+    total = 0
+    for array in arrays:
+        if array is None:
+            continue
+        base = array
+        while isinstance(base, np.ndarray) and base.base is not None:
+            base = base.base
+        if isinstance(base, np.memmap) or type(base).__name__ == "mmap":
+            continue
+        total += int(array.nbytes)
+    return total
+
+
 class CSRGraph:
     """Immutable directed graph in CSR form.
 
@@ -138,9 +160,24 @@ class CSRGraph:
         return bool(pos < seg.size and seg[pos] == v)
 
     def nbytes(self) -> int:
+        """Virtual size of the graph's arrays (mmap-backed or not)."""
         total = self.offsets.nbytes + self.targets.nbytes
         if self.edge_weights is not None:
             total += self.edge_weights.nbytes
+        return total
+
+    def resident_nbytes(self) -> int:
+        """Bytes held as anonymous memory; mmap-backed arrays count zero.
+
+        A cache-loaded graph reports ~0 (its pages live in the page
+        cache, reclaimable), while a freshly built one reports
+        ``nbytes()`` — the distinction serve admission and the sweep
+        supervisor budget against.
+        """
+        total = resident_nbytes_of(self.offsets, self.targets,
+                                   self.edge_weights)
+        if self._in_view is not None:
+            total += self._in_view.resident_nbytes()
         return total
 
     def __repr__(self) -> str:

@@ -140,6 +140,12 @@ class EdgeList:
             total += self.weights.nbytes
         return total
 
+    def resident_nbytes(self) -> int:
+        """Bytes held as anonymous memory; mmap-backed arrays count zero."""
+        from .csr import resident_nbytes_of
+
+        return resident_nbytes_of(self.src, self.dst, self.weights)
+
     def __repr__(self) -> str:
         kind = "weighted" if self.weights is not None else "unweighted"
         return (

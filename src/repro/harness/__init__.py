@@ -11,7 +11,8 @@ from .datasets import (
     weak_scaling_dataset,
 )
 from .figures import figure3, figure4, figure5, figure6, figure7, sgd_vs_gd
-from .graph500 import Graph500Result, run_graph500
+from .graph500 import Graph500Result, graph500_protocol, run_graph500
+from .outofcore import OutOfCoreCell, run_outofcore_demo
 from .persistence import compare_artifacts, load_artifact, save_artifact
 from .runner import (
     CELL_STATUSES,
@@ -48,6 +49,9 @@ __all__ = [
     "ExperimentSpec",
     "execute_cell",
     "Graph500Result",
+    "graph500_protocol",
+    "OutOfCoreCell",
+    "run_outofcore_demo",
     "STATUS_CRASHED",
     "STATUS_FAILED",
     "STATUS_TIMEOUT",

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..algorithms.bfs import UNREACHED, validate_distances
-from ..datagen import rmat_graph
+from ..datagen import rmat_graph, rmat_graph_sharded
+from ..observability import peak_rss_bytes
 from .runner import run_experiment
 
 
@@ -35,6 +36,8 @@ class Graph500Result:
     max_teps: float
     mean_time_s: float
     all_valid: bool
+    streamed: bool = False
+    peak_rss_mb: float = 0.0
 
     def __repr__(self) -> str:
         return (
@@ -60,23 +63,51 @@ def traversed_edges(graph, distances) -> float:
 
     The Graph500 TEPS numerator: input edges "traversed" by the search.
     On our symmetrized graphs each undirected edge is stored twice, so
-    halve the directed count.
+    halve the directed count. Counted from degrees — identical to
+    masking an expanded per-edge source array, but O(V) memory, which
+    the out-of-core runs rely on.
     """
     reached = distances != UNREACHED
-    src_reached = reached[graph.sources()]
-    return float(src_reached.sum()) / 2.0
+    return float((graph.out_degrees() * reached).sum()) / 2.0
 
 
 def run_graph500(scale: int = 12, edge_factor: int = 16, nodes: int = 1,
                  framework: str = "native", num_roots: int = 16,
-                 scale_factor: float = 1.0, seed: int = 1) -> Graph500Result:
+                 scale_factor: float = 1.0, seed: int = 1,
+                 streamed: bool = False, memory_budget_mb: float = None,
+                 chunk_edges: int = 1 << 18,
+                 num_partitions: int = None) -> Graph500Result:
     """Run the Graph500 BFS protocol and return its statistics.
 
     ``num_roots`` defaults to 16 (the official 64 at laptop scale just
-    repeats similar searches; tests use fewer still).
+    repeats similar searches; tests use fewer still). ``streamed=True``
+    builds the graph through the out-of-core pipeline (byte-identical
+    dataset, bounded peak RSS) with shard working sets capped at
+    ``memory_budget_mb``.
     """
-    graph = rmat_graph(scale, edge_factor=edge_factor, seed=seed,
-                       directed=False)
+    if streamed:
+        graph = rmat_graph_sharded(
+            scale, edge_factor=edge_factor, seed=seed, directed=False,
+            chunk_edges=chunk_edges, num_partitions=num_partitions,
+            memory_budget_mb=memory_budget_mb)
+    else:
+        graph = rmat_graph(scale, edge_factor=edge_factor, seed=seed,
+                           directed=False)
+    return graph500_protocol(graph, scale=scale, framework=framework,
+                             nodes=nodes, num_roots=num_roots,
+                             scale_factor=scale_factor, streamed=streamed)
+
+
+def graph500_protocol(graph, scale: int, framework: str = "native",
+                      nodes: int = 1, num_roots: int = 16,
+                      scale_factor: float = 1.0,
+                      streamed: bool = False) -> Graph500Result:
+    """The Graph500 measurement loop on an already-built graph.
+
+    Split from :func:`run_graph500` so the out-of-core demonstration can
+    run the identical protocol against graphs it builds itself (a fresh
+    in-memory build versus a streamed sharded one) under one memory cap.
+    """
     roots = choose_search_keys(graph, num_roots)
 
     teps = []
@@ -107,4 +138,6 @@ def run_graph500(scale: int = 12, edge_factor: int = 16, nodes: int = 1,
         max_teps=float(teps.max()),
         mean_time_s=float(np.mean(times)),
         all_valid=bool(all_valid),
+        streamed=streamed,
+        peak_rss_mb=peak_rss_bytes() / (1 << 20),
     )

@@ -101,6 +101,12 @@ class SupervisorPolicy:
     #: RLIMIT_AS headroom (bytes) above the worker's footprint at fork;
     #: None = no cap.
     memory_limit_bytes: int = None
+    #: Extra address-space allowance (bytes) on top of
+    #: ``memory_limit_bytes`` for *file-backed* maps. RLIMIT_AS counts
+    #: mapped shard files the same as anonymous pages, so without this
+    #: an out-of-core cell's read-only mmaps would eat the budget meant
+    #: for its working set. Ignored when ``memory_limit_bytes`` is None.
+    mapped_allowance_bytes: int = 0
     #: Supervision poll period (real seconds): the upper bound on how
     #: stale liveness/deadline checks can be when no pipe event fires.
     heartbeat_s: float = 0.1
@@ -214,7 +220,8 @@ class _BallooningExecute:
         return self.execute(key, budget_s=budget_s)
 
 
-def _worker_main(task_conn, result_conn, memory_limit_bytes) -> None:
+def _worker_main(task_conn, result_conn, memory_limit_bytes,
+                 mapped_allowance_bytes=0) -> None:
     """Long-lived *generic* worker loop: recv task, run cell, send record.
 
     Each task frame carries its own executor, cell policy and chaos
@@ -231,7 +238,8 @@ def _worker_main(task_conn, result_conn, memory_limit_bytes) -> None:
     except (ValueError, OSError):
         pass
     if memory_limit_bytes:
-        _apply_memory_limit(memory_limit_bytes)
+        _apply_memory_limit(memory_limit_bytes
+                            + int(mapped_allowance_bytes or 0))
     while True:
         try:
             frame = task_conn.recv_bytes()
@@ -355,12 +363,14 @@ class _Task:
 class _WorkerHandle:
     """One supervised worker: process + its two pipe endpoints."""
 
-    def __init__(self, context, name, memory_limit_bytes):
+    def __init__(self, context, name, memory_limit_bytes,
+                 mapped_allowance_bytes=0):
         task_recv, self.task_conn = context.Pipe(duplex=False)
         self.result_conn, result_send = context.Pipe(duplex=False)
         self.process = context.Process(
             target=_worker_main, name=name,
-            args=(task_recv, result_send, memory_limit_bytes), daemon=True)
+            args=(task_recv, result_send, memory_limit_bytes,
+                  mapped_allowance_bytes), daemon=True)
         self.process.start()
         # Close the child's ends in the parent so a dead worker reads
         # as EOF on result_conn instead of blocking forever.
@@ -572,7 +582,8 @@ class SupervisorPool:
         self._spawned += 1
         worker = _WorkerHandle(self._context,
                                f"sweep-worker-{self._spawned}",
-                               self.supervise.memory_limit_bytes)
+                               self.supervise.memory_limit_bytes,
+                               self.supervise.mapped_allowance_bytes)
         self._workers.append(worker)
         return worker
 

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..datagen import cache as _dataset_cache
+from ..graph import sharded as _sharded_graphs
 from ..errors import (
     CapacityError,
     DeadlineExceeded,
@@ -331,7 +332,8 @@ def execute_cell(key: dict, execute, policy: CellPolicy,
     while True:
         attempts += 1
         with tracer.span("cell", attempt=attempts, **key), \
-                _dataset_cache.use_tracer(tracer):
+                _dataset_cache.use_tracer(tracer), \
+                _sharded_graphs.use_tracer(tracer):
             try:
                 outcome = execute(key, budget_s=policy.deadline_s)
             except _TYPED_ERRORS as error:
@@ -490,7 +492,8 @@ class Sweep:
                  backoff_base_s: float = 0.5, backoff_cap_s: float = 8.0,
                  sleep=None, tracer=None, jobs=None,
                  wall_deadline_s: float = None, max_crashes: int = 2,
-                 memory_limit_mb: float = None, real_chaos=None,
+                 memory_limit_mb: float = None,
+                 mapped_allowance_mb: float = 0.0, real_chaos=None,
                  pool=None, stop=None, on_cell=None):
         from ..chaos.real import resolve_real_chaos
 
@@ -504,6 +507,8 @@ class Sweep:
             raise ReproError("max_crashes must be >= 1")
         if memory_limit_mb is not None and memory_limit_mb <= 0:
             raise ReproError("memory_limit_mb must be > 0")
+        if mapped_allowance_mb < 0:
+            raise ReproError("mapped_allowance_mb must be >= 0")
         self.name = name
         self.journal_path = Path(journal) if journal is not None else None
         self.resume = resume
@@ -517,6 +522,7 @@ class Sweep:
         self.wall_deadline_s = wall_deadline_s
         self.max_crashes = max_crashes
         self.memory_limit_mb = memory_limit_mb
+        self.mapped_allowance_mb = mapped_allowance_mb
         self.real_chaos = resolve_real_chaos(real_chaos)
         #: Externally owned, already-started SupervisorPool to reuse
         #: (warm workers persist across runs); None = own a fresh pool.
@@ -542,9 +548,11 @@ class Sweep:
 
         limit_bytes = int(self.memory_limit_mb * 2**20) \
             if self.memory_limit_mb else None
+        allowance = int(self.mapped_allowance_mb * 2**20)
         return SupervisorPolicy(wall_deadline_s=self.wall_deadline_s,
                                 max_crashes=self.max_crashes,
-                                memory_limit_bytes=limit_bytes)
+                                memory_limit_bytes=limit_bytes,
+                                mapped_allowance_bytes=allowance)
 
     def supervised(self) -> bool:
         """Must cells run in worker processes (even at ``jobs=1``)?

@@ -43,12 +43,31 @@ class PageRankPull(Kernel):
         else:
             contributions = np.where(self.out_degrees > 0,
                                      ranks / self.safe, 0.0)
-            per_edge = np.repeat(contributions, self.out_degrees)
-            gathered = np.bincount(graph.targets, weights=per_edge,
-                                   minlength=n)
+            if hasattr(graph, "partitions"):
+                gathered = self._gather_sharded(graph, contributions, n)
+            else:
+                per_edge = np.repeat(contributions, self.out_degrees)
+                gathered = np.bincount(graph.targets, weights=per_edge,
+                                       minlength=n)
         new_ranks = self.damping + (1.0 - self.damping) * gathered
         work = KernelWork(edges=float(graph.num_edges), vertices=float(n))
         return new_ranks, work
+
+    @staticmethod
+    def _gather_sharded(graph, contributions, n):
+        """Partition-at-a-time gather over an out-of-core graph.
+
+        ``np.add.at`` into one shared accumulator replays ``bincount``'s
+        edge-order accumulation exactly (both fold float64 addends in
+        ascending edge index), so sharded PageRank is bit-identical to
+        the dense path while touching one partition's targets at a time.
+        """
+        gathered = np.zeros(n, dtype=np.float64)
+        for part in graph.partitions():
+            per_edge = np.repeat(contributions[part.lo:part.hi],
+                                 part.out_degrees())
+            np.add.at(gathered, part.targets, per_edge)
+        return gathered
 
     def _gather_interpreted(self, ranks):
         """Edge-at-a-time oracle, in ``bincount``'s accumulation order."""
@@ -89,6 +108,10 @@ class BFSPush(Kernel):
                           frontier=float(frontier.size))
         if interpreted():
             candidates = self._expand_interpreted(frontier)
+        elif hasattr(self.graph, "frontier_neighbors_unique"):
+            # Out-of-core path: running sorted union per partition, so
+            # the expansion never holds the whole frontier gather.
+            candidates, _ = self.graph.frontier_neighbors_unique(frontier)
         else:
             neighbors, _ = self.graph.neighbors_of_many(frontier)
             candidates = np.unique(neighbors)

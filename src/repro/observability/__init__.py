@@ -21,6 +21,12 @@ from .export import (
     steps_csv,
     write_chrome_trace,
 )
+from .memory import (
+    current_rss_bytes,
+    peak_rss_bytes,
+    reset_peak_rss,
+    sample_peak_rss,
+)
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -29,7 +35,11 @@ __all__ = [
     "Span",
     "Tracer",
     "chrome_trace",
+    "current_rss_bytes",
+    "peak_rss_bytes",
     "render_summary_tree",
+    "reset_peak_rss",
+    "sample_peak_rss",
     "steps_csv",
     "write_chrome_trace",
 ]

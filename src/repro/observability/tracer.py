@@ -80,6 +80,9 @@ class NullTracer:
     def count(self, name: str, value: float = 1.0) -> None:
         pass
 
+    def gauge_max(self, name: str, value: float) -> None:
+        pass
+
     def advance(self, seconds: float) -> None:
         pass
 
@@ -204,6 +207,17 @@ class Tracer(NullTracer):
         total = self.counters.get(name, 0.0) + value
         self.counters[name] = total
         self.counter_samples.append((self.now(), name, total))
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise a named high-water mark (still monotone, so it exports
+        like a counter). Used for ``peak-rss`` samples at superstep
+        boundaries — the value is a level, not an increment, so ``count``
+        would be wrong."""
+        value = float(value)
+        total = self.counters.get(name, 0.0)
+        if value > total:
+            self.counters[name] = value
+            self.counter_samples.append((self.now(), name, value))
 
     # -- introspection -----------------------------------------------------
 

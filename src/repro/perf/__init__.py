@@ -22,25 +22,33 @@ from .baselines import (
     GATE_FRAMEWORKS,
     GATE_NODE_COUNTS,
     KERNEL_REPORT_SUBSET,
+    OUTOFCORE_BASELINE,
+    OUTOFCORE_MIN_RATIO,
+    OUTOFCORE_SUBSET,
     CellCheck,
     GateReport,
     cell_key,
     check,
     check_kernel_backends,
+    check_outofcore,
     load_baseline,
     measure_cells,
     measure_kernel_backends,
+    measure_outofcore,
     measure_parallel_sweep,
     measure_wall_clock,
     parse_injection,
     record,
+    record_outofcore,
     render_kernel_report,
+    render_outofcore_report,
 )
 from .model import Roofline, roofline_of, roofline_of_run, roofline_table
 from .report import (
     render_advice,
     render_attribution,
     render_gate,
+    render_outofcore,
     render_parallel,
     render_serve,
     render_roofline,
@@ -57,6 +65,9 @@ __all__ = [
     "GapFactor",
     "GateReport",
     "KERNEL_REPORT_SUBSET",
+    "OUTOFCORE_BASELINE",
+    "OUTOFCORE_MIN_RATIO",
+    "OUTOFCORE_SUBSET",
     "Roofline",
     "WHAT_IFS",
     "advise",
@@ -66,18 +77,23 @@ __all__ = [
     "cell_key",
     "check",
     "check_kernel_backends",
+    "check_outofcore",
     "classify",
     "load_baseline",
     "measure_cells",
     "measure_kernel_backends",
+    "measure_outofcore",
     "measure_parallel_sweep",
     "measure_wall_clock",
     "parse_injection",
     "record",
+    "record_outofcore",
     "render_advice",
     "render_attribution",
     "render_gate",
     "render_kernel_report",
+    "render_outofcore",
+    "render_outofcore_report",
     "render_parallel",
     "render_serve",
     "render_roofline",

@@ -250,9 +250,139 @@ def render_kernel_report(report: dict) -> str:
             f"({report['speedup']:.1f}x speedup)")
 
 
+#: Default baseline file for the out-of-core ingest gate.
+OUTOFCORE_BASELINE = "BENCH_outofcore.json"
+
+#: Minimum streamed/in-memory ingest throughput ratio the gate accepts.
+OUTOFCORE_MIN_RATIO = 0.5
+
+#: Ingest-gate workload: big enough that build work dominates process
+#: overheads, small enough for CI (a few seconds per path).
+OUTOFCORE_SUBSET = {"scale": 15, "edge_factor": 16, "seed": 1,
+                    "chunk_edges": 1 << 17}
+
+_OUTOFCORE_KIND = "outofcore-baseline"
+
+
+def measure_outofcore(subset=None) -> dict:
+    """Cold-build throughput of both ingest paths, plus digest identity.
+
+    Builds the same symmetrized R-MAT graph twice from scratch — the
+    monolithic in-memory path (generate, dedup, CSR in RAM) and the
+    streamed path (chunked generation into a sharded on-disk CSR,
+    bypassing the dataset cache so the build itself is timed) — and
+    reports edges/second for each. The ``identical`` half is exact: the
+    partition digests of the sharded build must equal the dense CSR
+    sliced at the same bounds. The throughput half is wall-clock and
+    machine-dependent; gates on it use a generous threshold.
+    """
+    import shutil
+    import tempfile
+
+    from ..datagen import RMATStream, rmat_graph
+    from ..graph import ShardedCSRGraph, build_sharded_csr, graph_digests
+
+    subset = dict(OUTOFCORE_SUBSET if subset is None else subset)
+    scale = subset["scale"]
+    edge_factor = subset.get("edge_factor", 16)
+    seed = subset.get("seed", 1)
+    chunk_edges = subset.get("chunk_edges", 1 << 17)
+
+    start = time.perf_counter()
+    dense = rmat_graph.__wrapped__(scale, edge_factor=edge_factor,
+                                   seed=seed, directed=False)
+    in_memory_s = time.perf_counter() - start
+
+    stream = RMATStream(scale, edge_factor=edge_factor, seed=seed)
+    tmp = tempfile.mkdtemp(prefix="repro-perf-ooc-")
+    try:
+        start = time.perf_counter()
+        build_sharded_csr(
+            (block for _, block in stream.chunks(chunk_edges)),
+            stream.num_vertices, tmp, symmetrize=True)
+        streamed_s = time.perf_counter() - start
+        sharded = ShardedCSRGraph(tmp)
+        identical = sharded.digests() == graph_digests(
+            dense, num_partitions=len(sharded.bounds) - 1)
+        partitions = len(sharded.bounds) - 1
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    edges = dense.num_edges
+    in_memory_eps = edges / max(in_memory_s, 1e-9)
+    streamed_eps = edges / max(streamed_s, 1e-9)
+    return {
+        "scale": scale,
+        "edge_factor": edge_factor,
+        "chunk_edges": chunk_edges,
+        "partitions": partitions,
+        "edges": edges,
+        "in_memory_s": in_memory_s,
+        "streamed_s": streamed_s,
+        "in_memory_eps": in_memory_eps,
+        "streamed_eps": streamed_eps,
+        "ratio": streamed_eps / max(in_memory_eps, 1e-9),
+        "identical": identical,
+    }
+
+
+def check_outofcore(min_ratio: float = OUTOFCORE_MIN_RATIO,
+                    subset=None) -> dict:
+    """Run :func:`measure_outofcore` and gate on the result.
+
+    Raises :class:`~repro.errors.PerfRegression` when the sharded build
+    is not byte-identical to the dense CSR (a correctness bug, never
+    tolerable) or when streamed ingest throughput falls below
+    ``min_ratio`` of the in-memory path.
+    """
+    report = measure_outofcore(subset)
+    if not report["identical"]:
+        raise PerfRegression(
+            f"sharded build at scale {report['scale']} is not "
+            f"byte-identical to the in-memory CSR — the out-of-core "
+            f"pipeline must reproduce the dense graph exactly"
+        )
+    if report["ratio"] < min_ratio:
+        raise PerfRegression(
+            f"streamed ingest runs at {report['ratio']:.2f}x the "
+            f"in-memory path ({report['streamed_eps']:.2e} vs "
+            f"{report['in_memory_eps']:.2e} edges/s; required: "
+            f"{min_ratio:.2f}x)"
+        )
+    return report
+
+
+def render_outofcore_report(report: dict) -> str:
+    """One-paragraph human rendering of an out-of-core ingest report."""
+    status = "identical" if report["identical"] else "MISMATCHED"
+    return (f"out-of-core ingest at scale {report['scale']} "
+            f"({report['edges']} edges, {report['partitions']} "
+            f"partitions): digests {status}; streamed "
+            f"{report['streamed_eps']:.2e} edges/s vs in-memory "
+            f"{report['in_memory_eps']:.2e} edges/s "
+            f"({report['ratio']:.2f}x)")
+
+
+def record_outofcore(path=OUTOFCORE_BASELINE, subset=None) -> dict:
+    """Measure the ingest paths and write ``BENCH_outofcore.json``.
+
+    The digest-identity half is deterministic; the throughput half is
+    wall-clock, recorded for trend-watching (the gate re-measures).
+    """
+    payload = {
+        "kind": _OUTOFCORE_KIND,
+        "version": 1,
+        "report": measure_outofcore(subset),
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n")
+    return payload
+
+
 def record(path=DEFAULT_BASELINE, algorithms=None,
            frameworks=GATE_FRAMEWORKS, node_counts=GATE_NODE_COUNTS,
-           benchmarks=(), parallel_jobs=None, serve=None) -> dict:
+           benchmarks=(), parallel_jobs=None, serve=None,
+           outofcore=None) -> dict:
     """Measure every gate cell and write the baseline file.
 
     The ``cells`` section is deterministic, so recording twice on an
@@ -281,6 +411,10 @@ def record(path=DEFAULT_BASELINE, algorithms=None,
         payload["parallel"] = measure_parallel_sweep(parallel_jobs)
     if serve is not None:
         payload["serve"] = serve
+    if outofcore is not None:
+        # An already-measured ingest report (repro perf outofcore),
+        # passed through verbatim like the serve load report.
+        payload["outofcore"] = outofcore
     atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True)
                       + "\n")
     return payload
@@ -343,6 +477,7 @@ class GateReport:
     wall_clock: dict = field(default_factory=dict)
     parallel: dict = field(default_factory=dict)
     serve: dict = field(default_factory=dict)
+    outofcore: dict = field(default_factory=dict)
     injected: dict = field(default_factory=dict)
 
     @property
@@ -374,6 +509,7 @@ class GateReport:
             "wall_clock": self.wall_clock,
             "parallel": self.parallel,
             "serve": self.serve,
+            "outofcore": self.outofcore,
             "injected": self.injected,
         }
 
@@ -443,4 +579,5 @@ def check(path=DEFAULT_BASELINE, tolerance: float = DEFAULT_TOLERANCE,
     # advisory by definition.
     report.parallel = baseline.get("parallel", {})
     report.serve = baseline.get("serve", {})
+    report.outofcore = baseline.get("outofcore", {})
     return report

@@ -105,6 +105,15 @@ def render_serve(entry: dict) -> str:
     return ", ".join(parts) + " (advisory)"
 
 
+def render_outofcore(entry: dict) -> str:
+    """One-line out-of-core ingest summary (digests + throughput)."""
+    status = "identical" if entry.get("identical") else "MISMATCHED"
+    return (f"outofcore scale {entry.get('scale')}: digests {status}, "
+            f"streamed {entry.get('streamed_eps', 0.0):.2e} edges/s vs "
+            f"in-memory {entry.get('in_memory_eps', 0.0):.2e} edges/s "
+            f"({entry.get('ratio', 0.0):.2f}x; advisory)")
+
+
 def render_gate(report) -> str:
     """Pass/fail summary naming every out-of-tolerance cell."""
     lines = [f"perf gate vs {report.path} "
@@ -135,6 +144,8 @@ def render_gate(report) -> str:
         lines.append("  " + render_parallel(report.parallel))
     if report.serve:
         lines.append("  " + render_serve(report.serve))
+    if getattr(report, "outofcore", None):
+        lines.append("  " + render_outofcore(report.outofcore))
     lines.append("PASS: no cell regressed" if report.ok else
                  f"FAIL: {len(report.regressions)} cell(s) regressed")
     return "\n".join(lines)

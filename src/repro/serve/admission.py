@@ -68,6 +68,7 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._active = 0
         self._reserved_mb = 0.0
+        self._baseline_mb = 0.0
         self._draining = False
         self.admitted = 0
         self.rejected = {}        # code -> count
@@ -82,6 +83,18 @@ class AdmissionController:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    def reserve_baseline(self, memory_mb: float) -> None:
+        """Permanently reserve headroom for the warm pinned set.
+
+        Called once at startup with the warm set's **resident** bytes
+        (:func:`repro.datagen.pinned_memory`), not its virtual size:
+        mmap-backed pinned graphs keep their pages reclaimable, so
+        counting ``nbytes`` would double-charge the budget for memory
+        the kernel can take back under pressure.
+        """
+        with self._lock:
+            self._baseline_mb += max(float(memory_mb), 0.0)
 
     # -- admission ----------------------------------------------------
 
@@ -127,14 +140,15 @@ class AdmissionController:
                     f"admission queue is full ({self._active} jobs "
                     f"in flight, capacity {capacity}); retry later",
                     active=self._active, capacity=capacity))
-            if self._reserved_mb + memory_mb > policy.memory_budget_mb:
+            reserved = self._baseline_mb + self._reserved_mb
+            if reserved + memory_mb > policy.memory_budget_mb:
                 raise self._reject_locked(ApiError(
                     503, "out-of-memory",
                     f"memory budget exhausted "
-                    f"({self._reserved_mb:.0f} of "
+                    f"({reserved:.0f} of "
                     f"{policy.memory_budget_mb:.0f} MB reserved, "
                     f"{memory_mb:.0f} MB requested); retry later",
-                    reserved_mb=self._reserved_mb,
+                    reserved_mb=reserved,
                     requested_mb=memory_mb,
                     budget_mb=policy.memory_budget_mb))
             self._active += 1
@@ -164,6 +178,7 @@ class AdmissionController:
                 "capacity": self.policy.max_running
                 + self.policy.max_queue,
                 "reserved_mb": self._reserved_mb,
+                "baseline_mb": self._baseline_mb,
                 "budget_mb": self.policy.memory_budget_mb,
                 "draining": self._draining,
                 "admitted": self.admitted,

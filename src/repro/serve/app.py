@@ -38,6 +38,7 @@ import time
 
 from ..datagen import cache as dataset_cache
 from ..errors import ReproError, SweepInterrupted
+from ..observability import current_rss_bytes, peak_rss_bytes
 from ..harness.supervisor import SupervisorPolicy, SupervisorPool
 from ..harness.sweep import CellPolicy, Sweep, cell_id
 from .admission import AdmissionController
@@ -166,6 +167,7 @@ class ExperimentService:
         self.responses = {}          # status -> count
         self.cache_hits = {"total": 0, "pinned": 0}
         self.warmed = []             # pinned entry keys from warm-up
+        self.pinned_memory = {"virtual_bytes": 0, "resident_bytes": 0}
         self._loop = None
         self._tasks = set()          # background job tasks
         self._drain_event = None     # asyncio.Event once the loop exists
@@ -207,6 +209,13 @@ class ExperimentService:
                     for nodes in self.warm_node_counts:
                         weak_scaling_dataset(algorithm, nodes)
             self.warmed = [entry["key"] for entry in dataset_cache.pinned()]
+            # Reserve admission headroom for what the warm set actually
+            # keeps resident: mmap-backed pinned shards reserve ~nothing
+            # (their clean pages are reclaimable), so the budget is not
+            # double-charged for the pipeline's on-disk graphs.
+            self.pinned_memory = dataset_cache.pinned_memory()
+            self.admission.reserve_baseline(
+                self.pinned_memory["resident_bytes"] / 2**20)
         self.pool.start()
         self.started_s = time.time()
 
@@ -398,6 +407,14 @@ class ExperimentService:
                 "hits": dict(self.cache_hits),
                 "pinned": dataset_cache.stats()["pinned"],
                 "warmed": list(self.warmed),
+            },
+            "memory": {
+                "peak_rss_mb": round(peak_rss_bytes() / 2**20, 2),
+                "current_rss_mb": round(current_rss_bytes() / 2**20, 2),
+                "pinned_virtual_mb": round(
+                    self.pinned_memory["virtual_bytes"] / 2**20, 2),
+                "pinned_resident_mb": round(
+                    self.pinned_memory["resident_bytes"] / 2**20, 2),
             },
         }
 

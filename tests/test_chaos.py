@@ -231,7 +231,7 @@ class TestDeterminism:
 
 
 UNSEEDED_NUMPY = re.compile(
-    r"np\.random\.(?!default_rng|Generator|SeedSequence)\w+")
+    r"np\.random\.(?!default_rng|Generator|SeedSequence|PCG64)\w+")
 BARE_RANDOM = re.compile(r"^\s*(import random\b|from random import)")
 
 

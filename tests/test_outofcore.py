@@ -1,0 +1,382 @@
+"""Out-of-core pipeline: streamed generation, sharded CSR, beyond-RAM runs.
+
+Covers the whole tentpole contract: the chunked R-MAT stream is
+bit-identical to the monolithic generator at any chunk size; the
+partitioned on-disk CSR carries the same sha256 digests as the dense
+build; engines produce identical results (and identical simulated
+runtimes) through either representation; the memory budget actually
+bounds the mapped working set; shard-level cache keys regenerate one
+chunk on a miss; and the headline demonstration — a Graph500 run that
+dies under ``RLIMIT_AS`` in-memory but completes streamed — holds at a
+test-sized configuration.
+"""
+
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    OUT_OF_CORE_ENV,
+    RMATStream,
+    cache_entries,
+    pinned_memory,
+    rmat_edges,
+    rmat_graph,
+    rmat_graph_sharded,
+    rmat_triangle_graph,
+    rmat_triangle_graph_sharded,
+)
+from repro.datagen import cache as cache_module
+from repro.graph import (
+    ShardedCSRGraph,
+    build_sharded_csr,
+    graph_digests,
+    iter_csr_blocks,
+)
+from repro.graph import sharded as sharded_module
+from repro.harness import ExperimentSpec, run
+from repro.observability import Tracer, peak_rss_bytes, reset_peak_rss
+
+GRAPH_ARGS = dict(scale=8, edge_factor=8, seed=7)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the dataset cache at a private root and enable it."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv(cache_module.CACHE_DIR_ENV, str(root))
+    monkeypatch.delenv(cache_module.CACHE_ENABLE_ENV, raising=False)
+    yield root
+    # Pins are process-global; a leaked pin would satisfy the next
+    # test's builds from memory instead of its private cache root.
+    cache_module.clear_pins()
+
+
+def dense_graph(directed=False, **overrides):
+    args = {**GRAPH_ARGS, **overrides}
+    return rmat_graph.__wrapped__(directed=directed, **args)
+
+
+def sharded_graph(tmp_path, directed=False, chunk_edges=512,
+                  num_partitions=4, **overrides):
+    """Build a sharded CSR directly from the stream (no disk cache)."""
+    args = {**GRAPH_ARGS, **overrides}
+    stream = RMATStream(args["scale"], args["edge_factor"],
+                        seed=args["seed"])
+    out = tmp_path / f"sharded-{directed}-{chunk_edges}-{num_partitions}"
+    build_sharded_csr((block for _, block in stream.chunks(chunk_edges)),
+                      stream.num_vertices, out,
+                      num_partitions=num_partitions,
+                      symmetrize=not directed)
+    return ShardedCSRGraph(out)
+
+
+class TestStreamBitIdentity:
+    def test_chunks_concatenate_to_the_monolithic_edge_list(self):
+        full = rmat_edges(**GRAPH_ARGS)
+        stream = RMATStream(GRAPH_ARGS["scale"], GRAPH_ARGS["edge_factor"],
+                            seed=GRAPH_ARGS["seed"])
+        assert stream.num_edges == full.num_edges
+        for chunk_edges in (64, 500, full.num_edges):
+            src = np.concatenate(
+                [block.src for _, block in stream.chunks(chunk_edges)])
+            dst = np.concatenate(
+                [block.dst for _, block in stream.chunks(chunk_edges)])
+            assert np.array_equal(src, full.src), chunk_edges
+            assert np.array_equal(dst, full.dst), chunk_edges
+
+    def test_arbitrary_slice_matches_the_full_stream(self):
+        full = rmat_edges(**GRAPH_ARGS)
+        stream = RMATStream(GRAPH_ARGS["scale"], GRAPH_ARGS["edge_factor"],
+                            seed=GRAPH_ARGS["seed"])
+        # Unaligned, mid-stream window: the PCG64 advance arithmetic,
+        # not a replay-from-zero.
+        block = stream.chunk(777, 1234)
+        assert np.array_equal(block.src, full.src[777:1234])
+        assert np.array_equal(block.dst, full.dst[777:1234])
+
+    def test_num_chunks_covers_the_stream_exactly(self):
+        stream = RMATStream(6, 4, seed=1)
+        for chunk_edges in (1, 100, stream.num_edges, 10 * stream.num_edges):
+            blocks = [block for _, block in stream.chunks(chunk_edges)]
+            assert len(blocks) == stream.num_chunks(chunk_edges)
+            assert sum(b.num_edges for b in blocks) == stream.num_edges
+
+
+class TestShardedDigests:
+    @pytest.mark.parametrize("directed", [False, True])
+    @pytest.mark.parametrize("chunk_edges", [256, 1000, 1 << 20])
+    def test_digests_match_the_dense_build(self, tmp_path, directed,
+                                           chunk_edges):
+        dense = dense_graph(directed=directed)
+        sharded = sharded_graph(tmp_path, directed=directed,
+                                chunk_edges=chunk_edges)
+        assert sharded.num_vertices == dense.num_vertices
+        assert sharded.num_edges == dense.num_edges
+        assert sharded.digests() == graph_digests(
+            dense, num_partitions=sharded.num_partitions)
+
+    def test_partition_count_does_not_change_the_graph(self, tmp_path):
+        dense = dense_graph()
+        for parts in (1, 3, 8):
+            sharded = sharded_graph(tmp_path, num_partitions=parts)
+            assert sharded.num_partitions == parts
+            assert np.array_equal(sharded.to_csr().targets, dense.targets)
+            assert np.array_equal(sharded.to_csr().offsets, dense.offsets)
+
+    def test_triangle_variant_matches_the_dense_build(self, cache_dir):
+        dense = rmat_triangle_graph.__wrapped__(scale=7, edge_factor=4,
+                                                seed=5)
+        sharded = rmat_triangle_graph_sharded(scale=7, edge_factor=4, seed=5,
+                                              chunk_edges=256)
+        assert sharded.digests() == graph_digests(
+            dense, num_partitions=sharded.num_partitions)
+
+    def test_iter_csr_blocks_walks_both_representations_alike(self, tmp_path):
+        dense = dense_graph()
+        sharded = sharded_graph(tmp_path)
+        digest = hashlib.sha256()
+        for lo, hi, offsets, targets in iter_csr_blocks(dense):
+            digest.update(np.ascontiguousarray(targets))
+        dense_digest = digest.hexdigest()
+        digest = hashlib.sha256()
+        for lo, hi, offsets, targets in iter_csr_blocks(sharded):
+            digest.update(np.ascontiguousarray(targets))
+        assert digest.hexdigest() == dense_digest
+
+
+class TestShardedGraphApi:
+    def test_neighbors_match_dense(self, tmp_path):
+        dense = dense_graph()
+        sharded = sharded_graph(tmp_path)
+        for v in (0, 1, 17, dense.num_vertices - 1):
+            assert np.array_equal(sharded.neighbors(v), dense.neighbors(v))
+            assert sharded.degree(v) == dense.degree(v)
+        assert np.array_equal(sharded.out_degrees(), dense.out_degrees())
+
+    def test_neighbors_of_many_matches_dense(self, tmp_path):
+        dense = dense_graph()
+        sharded = sharded_graph(tmp_path)
+        frontier = np.array([3, 40, 41, 200, 250], dtype=np.int64)
+        got_t, got_o = sharded.neighbors_of_many(frontier)
+        want_t, want_o = dense.neighbors_of_many(frontier)
+        assert np.array_equal(got_t, want_t)
+        assert np.array_equal(got_o, want_o)
+
+    def test_frontier_neighbors_unique_matches_a_dense_union(self, tmp_path):
+        dense = dense_graph()
+        sharded = sharded_graph(tmp_path)
+        frontier = np.arange(0, dense.num_vertices, 7)
+        unique, edges = sharded.frontier_neighbors_unique(frontier)
+        targets, _ = dense.neighbors_of_many(frontier)
+        assert edges == len(targets)
+        assert np.array_equal(unique, np.unique(targets))
+
+    def test_reverse_matches_the_dense_transpose(self, tmp_path):
+        dense = dense_graph(directed=True)
+        sharded = sharded_graph(tmp_path, directed=True)
+        reverse = sharded.reverse()
+        want = dense.reverse()
+        assert reverse.digests() == graph_digests(
+            want, num_partitions=reverse.num_partitions)
+
+
+class TestMemoryBudget:
+    def test_mapped_working_set_stays_under_the_budget(self, tmp_path):
+        sharded = sharded_graph(tmp_path, num_partitions=8)
+        per_part = max(p.num_edges for p in sharded.partitions()) * 8
+        budget_mb = 2.5 * per_part / 2**20     # room for ~2 partitions
+        sharded.memory_budget_mb = budget_mb
+        sharded.release()
+        tracer = Tracer()
+        with sharded_module.use_tracer(tracer):
+            for part in sharded.partitions():
+                part.targets
+                assert sharded.mapped_nbytes() <= budget_mb * 2**20
+        loads = tracer.spans_named("partition-load")
+        evicts = tracer.spans_named("partition-evict")
+        assert len(loads) == sharded.num_partitions
+        # Power-law partitions are uneven, but a 2.5-partition budget
+        # cannot hold all 8: something must have been evicted.
+        assert evicts
+        assert sharded.mapped_nbytes() < sharded.num_edges * 8
+
+    def test_no_budget_means_no_eviction(self, tmp_path):
+        sharded = sharded_graph(tmp_path, num_partitions=4)
+        tracer = Tracer()
+        with sharded_module.use_tracer(tracer):
+            for part in sharded.partitions():
+                part.targets
+        assert not tracer.spans_named("partition-evict")
+        assert sharded.mapped_nbytes() == sharded.num_edges * 8
+
+    def test_resident_nbytes_stays_far_below_virtual(self, cache_dir):
+        sharded = rmat_graph_sharded(**GRAPH_ARGS, directed=False,
+                                     chunk_edges=512)
+        for part in sharded.partitions():
+            part.targets
+        assert sharded.nbytes() >= sharded.num_edges * 8
+        # Mapped shard files are reclaimable; the accounting the serve
+        # admission and supervisor headroom rely on must not charge
+        # them as anonymous memory.
+        assert sharded.resident_nbytes() == 0
+
+
+class TestShardCacheKeys:
+    def test_one_missing_shard_regenerates_one_chunk(self, cache_dir):
+        chunk_edges = 512
+        rmat_graph_sharded(**GRAPH_ARGS, directed=False,
+                           chunk_edges=chunk_edges)
+        shards = [e for e in cache_entries()
+                  if e["generator"] == "rmat_edge_shard"]
+        num_chunks = RMATStream(
+            GRAPH_ARGS["scale"], GRAPH_ARGS["edge_factor"],
+            seed=GRAPH_ARGS["seed"]).num_chunks(chunk_edges)
+        assert len(shards) == num_chunks > 1
+        # Lose one edge shard and the assembled graph; rebuilding must
+        # regenerate exactly that one chunk and reuse the rest.
+        shutil.rmtree(cache_dir / shards[0]["key"])
+        for entry in cache_entries():
+            if entry["generator"] == "rmat_graph_sharded":
+                shutil.rmtree(cache_dir / entry["key"])
+        tracer = Tracer()
+        with cache_module.use_tracer(tracer):
+            rebuilt = rmat_graph_sharded(**GRAPH_ARGS, directed=False,
+                                         chunk_edges=chunk_edges)
+        misses = [s for s in tracer.spans_named("dataset-cache-miss")
+                  if s.attrs["generator"] == "rmat_edge_shard"]
+        hits = [s for s in tracer.spans_named("dataset-cache-hit")
+                if s.attrs["generator"] == "rmat_edge_shard"]
+        assert len(misses) == 1
+        assert len(hits) == num_chunks - 1
+        dense = dense_graph()
+        assert rebuilt.digests() == graph_digests(
+            dense, num_partitions=rebuilt.num_partitions)
+
+    def test_pinning_holds_the_manifest_not_resident_pages(self, cache_dir):
+        with cache_module.pinning():
+            sharded = rmat_graph_sharded(**GRAPH_ARGS, directed=False,
+                                         chunk_edges=512)
+        pins = cache_module.pinned()
+        assert any(p["generator"] == "rmat_graph_sharded" for p in pins)
+        memory = pinned_memory()
+        assert memory["virtual_bytes"] >= sharded.nbytes()
+        # The pinned sharded graph is file-backed end to end.
+        assert memory["resident_bytes"] < memory["virtual_bytes"]
+
+    def test_cache_stats_reports_the_shard_inventory(self, cache_dir):
+        rmat_graph_sharded(**GRAPH_ARGS, directed=False, chunk_edges=512,
+                           num_partitions=4)
+        stats = cache_module.stats()
+        assert stats["shards"]["sharded_graphs"] == 1
+        assert stats["shards"]["partitions"] == 4
+        assert stats["shards"]["edge_shards"] > 1
+
+    def test_out_of_core_env_reroutes_the_plain_builders(self, cache_dir,
+                                                         monkeypatch):
+        dense = dense_graph()
+        monkeypatch.setenv(OUT_OF_CORE_ENV, "1")
+        graph = rmat_graph(**GRAPH_ARGS, directed=False)
+        assert isinstance(graph, ShardedCSRGraph)
+        assert graph.digests() == graph_digests(
+            dense, num_partitions=graph.num_partitions)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("algorithm", ["pagerank", "bfs", "wcc"])
+    def test_runs_are_identical_through_either_representation(
+            self, cache_dir, algorithm):
+        directed = algorithm == "pagerank"
+        dense = dense_graph(directed=directed)
+        sharded = rmat_graph_sharded(**GRAPH_ARGS, directed=directed,
+                                     chunk_edges=512, memory_budget_mb=0.5)
+        spec = dict(algorithm=algorithm, framework="galois", nodes=1)
+        got = run(ExperimentSpec(dataset=sharded, **spec))
+        want = run(ExperimentSpec(dataset=dense, **spec))
+        assert got.runtime() == want.runtime()
+        got_values = got.result.values
+        want_values = want.result.values
+        if isinstance(got_values, dict):
+            assert got_values == want_values
+        else:
+            assert np.array_equal(got_values, want_values)
+
+
+class TestPeakRss:
+    def test_peak_rss_is_positive_and_resets(self):
+        before = peak_rss_bytes()
+        assert before > 0
+        if not reset_peak_rss():
+            pytest.skip("peak-RSS reset needs /proc/self/clear_refs")
+        # A reset rewinds the high-water mark to (about) current RSS;
+        # it must not exceed the old lifetime peak.
+        assert 0 < peak_rss_bytes() <= before
+
+
+class TestOutOfCoreDemo:
+    def test_oom_to_ok_transition(self, cache_dir, tmp_path):
+        # A fresh interpreter, not an in-process run: the workers fork
+        # from their parent, and a fat pytest parent donates its freed
+        # heap arenas (extra headroom) and resident interpreter (extra
+        # RSS) to the children, wrecking the RLIMIT_AS calibration in
+        # both directions. The CLI path is also what CI exercises.
+        # Knobs calibrated so the dense build's transient allocations
+        # blow the anonymous cap while the streamed path fits.
+        journal = tmp_path / "outofcore.jsonl"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "outofcore", "demo",
+             "--scale", "16", "--memory-limit-mb", "32",
+             "--mapped-allowance-mb", "48", "--memory-budget-mb", "16",
+             "--chunk-edges", str(1 << 16), "--partitions", "8",
+             "--roots", "2", "--journal", str(journal), "--json"],
+            capture_output=True, text=True, timeout=300,
+            env={**os.environ, "PYTHONPATH": "src"})
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["in_memory"]["status"] == "out-of-memory"
+        assert report["streamed"]["status"] == "ok"
+        assert report["transition"] is True
+        value = report["streamed"]["value"]
+        assert value["all_valid"]
+        # Peak RSS bounded: interpreter baseline + cap + shard maps.
+        assert 0 < value["peak_rss_mb"] < 160
+        lines = [json.loads(line)
+                 for line in journal.read_text().splitlines()]
+        statuses = {rec["key"]["mode"]: rec["status"]
+                    for rec in lines if "key" in rec}
+        assert statuses == {"in-memory": "out-of-memory", "streamed": "ok"}
+
+
+class TestJournalDifferential:
+    """Byte-identical sweep journals through both storage paths."""
+
+    CELLS = [{"algorithm": algorithm, "framework": "galois",
+              "dataset": "synthetic"}
+             for algorithm in ("pagerank", "bfs", "triangle_counting")]
+
+    def _run(self, path, out_of_core, monkeypatch):
+        from repro.harness.datasets import clear_proxy_caches
+        from repro.harness.sweep import Sweep
+        from repro.harness.tables import _single_node_cell
+
+        if out_of_core:
+            monkeypatch.setenv(OUT_OF_CORE_ENV, "1")
+        else:
+            monkeypatch.delenv(OUT_OF_CORE_ENV, raising=False)
+        clear_proxy_caches()
+        sweep = Sweep("table5-subset", journal=path)
+        sweep.run(self.CELLS, _single_node_cell)
+        return path.read_bytes()
+
+    def test_table5_subset_journals_are_byte_identical(self, cache_dir,
+                                                       tmp_path,
+                                                       monkeypatch):
+        dense = self._run(tmp_path / "dense.jsonl", False, monkeypatch)
+        streamed = self._run(tmp_path / "streamed.jsonl", True, monkeypatch)
+        assert dense == streamed
